@@ -1,0 +1,182 @@
+//! Area and TDP model — regenerates Table 2 and scales for Fig 11.
+//!
+//! Per-component constants come from the paper's 14/12 nm synthesis
+//! (Table 2); composite areas are *computed* from the configuration, so
+//! the same model serves the design-space sweep of §8.4.
+
+use crate::config::ArchConfig;
+use f1_isa::FuType;
+
+/// Per-unit area (mm²) and TDP (W) constants from Table 2.
+mod unit {
+    /// NTT FU.
+    pub const NTT: (f64, f64) = (2.27, 4.80);
+    /// Automorphism FU.
+    pub const AUT: (f64, f64) = (0.58, 0.99);
+    /// Multiply FU.
+    pub const MUL: (f64, f64) = (0.25, 0.60);
+    /// Add FU.
+    pub const ADD: (f64, f64) = (0.03, 0.05);
+    /// Vector register file, per 512 KB.
+    pub const RF_512K: (f64, f64) = (0.56, 1.67);
+    /// Scratchpad SRAM, per 4 MB bank.
+    pub const BANK_4M: (f64, f64) = (48.09 / 16.0, 20.35 / 16.0);
+    /// One 16×16 512-byte bit-sliced crossbar [58].
+    pub const XBAR_16: (f64, f64) = (10.02 / 3.0, 19.65 / 3.0);
+    /// One HBM2 PHY.
+    pub const HBM_PHY: (f64, f64) = (29.80 / 2.0, 0.45 / 2.0);
+}
+
+/// One row of the Table 2 breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaRow {
+    /// Component name, matching Table 2's labels.
+    pub component: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Thermal design power in W.
+    pub tdp_w: f64,
+}
+
+/// The full area/TDP breakdown of a configuration.
+#[derive(Debug, Clone)]
+pub struct AreaBreakdown {
+    /// Rows in Table 2 order.
+    pub rows: Vec<AreaRow>,
+    /// Total area.
+    pub total_area_mm2: f64,
+    /// Total TDP.
+    pub total_tdp_w: f64,
+}
+
+impl AreaBreakdown {
+    /// Computes the breakdown for a configuration.
+    pub fn for_config(cfg: &ArchConfig) -> Self {
+        let fu = |count: usize, (a, p): (f64, f64)| (count as f64 * a, count as f64 * p);
+        let (ntt_a, ntt_p) = fu(cfg.ntts_per_cluster, unit::NTT);
+        let (aut_a, aut_p) = fu(cfg.auts_per_cluster, unit::AUT);
+        let (mul_a, mul_p) = fu(cfg.muls_per_cluster, unit::MUL);
+        let (add_a, add_p) = fu(cfg.adds_per_cluster, unit::ADD);
+        let rf_scale = cfg.rf_bytes_per_cluster as f64 / (512.0 * 1024.0);
+        let (rf_a, rf_p) = (unit::RF_512K.0 * rf_scale, unit::RF_512K.1 * rf_scale);
+        let cluster_a = ntt_a + aut_a + mul_a + add_a + rf_a;
+        let cluster_p = ntt_p + aut_p + mul_p + add_p + rf_p;
+        let compute_a = cluster_a * cfg.clusters as f64;
+        let compute_p = cluster_p * cfg.clusters as f64;
+
+        let bank_scale = cfg.bank_bytes as f64 / (4.0 * 1024.0 * 1024.0);
+        let pad_a = unit::BANK_4M.0 * bank_scale * cfg.scratchpad_banks as f64;
+        let pad_p = unit::BANK_4M.1 * bank_scale * cfg.scratchpad_banks as f64;
+        // Crossbar area grows quadratically with port count [58]; three
+        // crossbars connect banks and clusters.
+        let ports = cfg.clusters.max(cfg.scratchpad_banks) as f64;
+        let xbar_scale = (ports / 16.0).powi(2);
+        let noc_a = 3.0 * unit::XBAR_16.0 * xbar_scale;
+        let noc_p = 3.0 * unit::XBAR_16.1 * xbar_scale;
+        let mem_if_a = unit::HBM_PHY.0 * cfg.hbm_phys as f64;
+        let mem_if_p = unit::HBM_PHY.1 * cfg.hbm_phys as f64;
+        let memsys_a = pad_a + noc_a + mem_if_a;
+        let memsys_p = pad_p + noc_p + mem_if_p;
+
+        let rows = vec![
+            AreaRow { component: "NTT FU".into(), area_mm2: ntt_a, tdp_w: ntt_p },
+            AreaRow { component: "Automorphism FU".into(), area_mm2: aut_a, tdp_w: aut_p },
+            AreaRow { component: "Multiply FU".into(), area_mm2: mul_a / cfg.muls_per_cluster.max(1) as f64, tdp_w: mul_p / cfg.muls_per_cluster.max(1) as f64 },
+            AreaRow { component: "Add FU".into(), area_mm2: add_a / cfg.adds_per_cluster.max(1) as f64, tdp_w: add_p / cfg.adds_per_cluster.max(1) as f64 },
+            AreaRow { component: "Vector RegFile (512 KB)".into(), area_mm2: rf_a, tdp_w: rf_p },
+            AreaRow { component: "Compute cluster".into(), area_mm2: cluster_a, tdp_w: cluster_p },
+            AreaRow {
+                component: format!("Total compute ({} clusters)", cfg.clusters),
+                area_mm2: compute_a,
+                tdp_w: compute_p,
+            },
+            AreaRow {
+                component: format!(
+                    "Scratchpad ({}x{} MB banks)",
+                    cfg.scratchpad_banks,
+                    cfg.bank_bytes / (1024 * 1024)
+                ),
+                area_mm2: pad_a,
+                tdp_w: pad_p,
+            },
+            AreaRow { component: "3xNoC (bit-sliced crossbars)".into(), area_mm2: noc_a, tdp_w: noc_p },
+            AreaRow {
+                component: format!("Memory interface ({}xHBM2 PHYs)", cfg.hbm_phys),
+                area_mm2: mem_if_a,
+                tdp_w: mem_if_p,
+            },
+            AreaRow { component: "Total memory system".into(), area_mm2: memsys_a, tdp_w: memsys_p },
+        ];
+        Self {
+            rows,
+            total_area_mm2: compute_a + memsys_a,
+            total_tdp_w: compute_p + memsys_p,
+        }
+    }
+
+    /// The paper's published totals for the default configuration.
+    pub fn paper_totals() -> (f64, f64) {
+        (151.4, 180.4)
+    }
+
+    /// Row lookup by (partial) component name.
+    pub fn row(&self, name: &str) -> Option<&AreaRow> {
+        self.rows.iter().find(|r| r.component.contains(name))
+    }
+}
+
+/// Per-FU TDP in watts, used by the energy model to convert busy cycles
+/// into joules.
+pub fn fu_tdp_w(fu: FuType) -> f64 {
+    match fu {
+        FuType::Ntt => unit::NTT.1,
+        FuType::Aut => unit::AUT.1,
+        FuType::Mul => unit::MUL.1,
+        FuType::Add => unit::ADD.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_table2() {
+        let b = AreaBreakdown::for_config(&ArchConfig::f1_default());
+        let (paper_area, paper_tdp) = AreaBreakdown::paper_totals();
+        assert!(
+            (b.total_area_mm2 - paper_area).abs() / paper_area < 0.01,
+            "total area {} vs paper {paper_area}",
+            b.total_area_mm2
+        );
+        assert!(
+            (b.total_tdp_w - paper_tdp).abs() / paper_tdp < 0.01,
+            "total TDP {} vs paper {paper_tdp}",
+            b.total_tdp_w
+        );
+        // Spot-check rows against Table 2.
+        let cluster = b.row("Compute cluster").unwrap();
+        assert!((cluster.area_mm2 - 3.97).abs() < 0.02, "{}", cluster.area_mm2);
+        assert!((cluster.tdp_w - 8.75).abs() < 0.03);
+        let pad = b.row("Scratchpad").unwrap();
+        assert!((pad.area_mm2 - 48.09).abs() < 0.01);
+        let compute = b.row("Total compute").unwrap();
+        assert!((compute.area_mm2 - 63.52).abs() < 0.1);
+    }
+
+    #[test]
+    fn area_scales_down_with_smaller_configs() {
+        let half = AreaBreakdown::for_config(&ArchConfig::scaled(0.5));
+        let full = AreaBreakdown::for_config(&ArchConfig::f1_default());
+        assert!(half.total_area_mm2 < full.total_area_mm2 * 0.7);
+        assert!(half.total_area_mm2 > full.total_area_mm2 * 0.3);
+    }
+
+    #[test]
+    fn memory_takes_most_area() {
+        // §6: FUs take 42% of area; memory system dominates the rest.
+        let b = AreaBreakdown::for_config(&ArchConfig::f1_default());
+        let mem = b.row("Total memory system").unwrap().area_mm2;
+        assert!(mem / b.total_area_mm2 > 0.5);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench: the two key-switch variants (Listing 1 decomposition
+//! vs GHS) — the §2.4 compute/hint-size tradeoff, measured in software.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f1_fhe::keys::SecretKey;
+use f1_fhe::keyswitch::{DecompHint, GhsHint};
+use f1_poly::rns::{RnsContext, RnsPoly};
+use rand::SeedableRng;
+
+fn bench_keyswitch(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let n = 1 << 12;
+    let l = 4usize;
+    let ctx = RnsContext::for_ring(n, 30, 2 * l);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let target = sk.s_squared_at_level(l);
+    let target_full = sk.s_squared_at_level(2 * l);
+    let decomp = DecompHint::generate(&sk, &target, l, 65537, 8, &mut rng);
+    let ghs = GhsHint::generate(&sk, &target_full, l, 65537, 8, &mut rng);
+    let x = RnsPoly::random_at_level(&ctx, l, &mut rng).to_ntt();
+    c.bench_function("keyswitch_decomp_n4096_l4", |b| b.iter(|| decomp.apply(&x)));
+    c.bench_function("keyswitch_ghs_n4096_l4", |b| b.iter(|| ghs.apply(&x)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_keyswitch
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: software throughput of the four Table 1 multiplier
+//! algorithms (complements the structural hardware model).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use f1_modarith::{mul, primes, Modulus};
+
+fn bench_modmul(c: &mut Criterion) {
+    let q = primes::fhe_friendly_primes(30, 1)[0];
+    let m = Modulus::new(q);
+    let xs: Vec<(u32, u32)> = (0..1024).map(|i| (i * 1_000_003 % q, i * 7_777_777 % q)).collect();
+    let mut g = c.benchmark_group("modmul_1024ops");
+    g.bench_function("barrett", |b| {
+        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::barrett(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+    });
+    g.bench_function("montgomery", |b| {
+        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::montgomery(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+    });
+    g.bench_function("ntt_friendly", |b| {
+        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::ntt_friendly(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+    });
+    g.bench_function("fhe_friendly", |b| {
+        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::fhe_friendly(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_modmul
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: reference NTT vs the hardware-shaped four-step NTT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f1_modarith::{primes, Modulus};
+use f1_poly::four_step::FourStepNtt;
+use f1_poly::ntt::NttTables;
+
+fn bench_ntt(c: &mut Criterion) {
+    for log_n in [12usize, 14] {
+        let n = 1 << log_n;
+        let q = primes::ntt_friendly_primes(n, 30, 1)[0];
+        let m = Modulus::new(q);
+        let tables = NttTables::new(n, m);
+        let four = FourStepNtt::new(n, 128, m);
+        let a: Vec<u32> = (0..n as u32).map(|i| i % q).collect();
+        c.bench_function(&format!("ntt_reference_n{n}"), |b| {
+            b.iter(|| {
+                let mut x = a.clone();
+                tables.forward(&mut x);
+                x
+            })
+        });
+        c.bench_function(&format!("ntt_four_step_n{n}"), |b| b.iter(|| four.forward(&a)));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ntt
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 2: area and TDP breakdown of the default F1 configuration.
+
+use f1_arch::{ArchConfig, AreaBreakdown};
+
+fn main() {
+    let cfg = ArchConfig::f1_default();
+    let b = AreaBreakdown::for_config(&cfg);
+    println!("Table 2: Area and TDP of F1 (model; paper totals 151.4 mm2, 180.4 W)\n");
+    println!("{:<42} {:>12} {:>10}", "Component", "Area [mm2]", "TDP [W]");
+    for row in &b.rows {
+        println!("{:<42} {:>12.2} {:>10.2}", row.component, row.area_mm2, row.tdp_w);
+    }
+    println!("{:<42} {:>12.1} {:>10.1}", "Total F1", b.total_area_mm2, b.total_tdp_w);
+    println!("\nPeak modular arithmetic: {:.1} tera-ops/s (paper: 36)", cfg.peak_tops());
+    println!("On-chip storage: {} MB; HBM bandwidth: {} GB/s",
+        cfg.scratchpad_bytes() / (1024 * 1024),
+        cfg.hbm_phys as u64 * cfg.hbm_gbps_per_phy);
+}

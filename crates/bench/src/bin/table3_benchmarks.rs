@@ -1,0 +1,30 @@
+//! Table 3: full-benchmark execution times, CPU vs F1, and speedups.
+//!
+//! CPU times come from measured per-operation costs of the real `f1-fhe`
+//! implementation charged against each program's operation mix
+//! (DESIGN.md §2.2); F1 times come from the cycle-accurate schedule.
+
+use f1_arch::ArchConfig;
+use f1_bench::{bench_scale, gmean, run_benchmark};
+use f1_workloads::{all_benchmarks, CpuBaseline};
+
+fn main() {
+    let scale = bench_scale();
+    let arch = ArchConfig::f1_default();
+    println!("Table 3: Performance of F1 and CPU on full FHE benchmarks (scale 1/{scale})\n");
+    println!("{:<30} {:>12} {:>12} {:>10}", "Benchmark", "CPU [ms]", "F1 [ms]", "Speedup");
+    let mut speedups = Vec::new();
+    for b in all_benchmarks(scale) {
+        let report = run_benchmark(&b, &arch);
+        let baseline = CpuBaseline::measure(&b.program, 2048);
+        let cpu_s = baseline.estimate_seconds_parallel(&b.program, b.n);
+        let f1_ms = report.seconds * 1e3;
+        let cpu_ms = cpu_s * 1e3;
+        let speedup = cpu_s / report.seconds;
+        speedups.push(speedup);
+        println!("{:<30} {:>12.2} {:>12.4} {:>9.0}x", b.name, cpu_ms, f1_ms, speedup);
+    }
+    println!("{:<30} {:>12} {:>12} {:>9.0}x", "gmean speedup", "", "", gmean(&speedups));
+    println!("\nPaper speedups: 5,011x / 17,412x / 15,086x / 7,217x / 6,722x / 1,830x / 1,195x (gmean 5,432x)");
+    println!("Shape targets: 3-4 orders of magnitude; CKKS bootstrapping lowest (memory-bound).");
+}

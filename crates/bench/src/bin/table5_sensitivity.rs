@@ -1,0 +1,55 @@
+//! Table 5: sensitivity studies — slowdowns of F1 variants with
+//! low-throughput NTT FUs, low-throughput automorphism FUs, and the CSR
+//! register-pressure scheduler.
+
+use f1_arch::ArchConfig;
+use f1_bench::{bench_scale, gmean};
+use f1_workloads::all_benchmarks;
+
+fn main() {
+    let scale = bench_scale();
+    println!("Table 5: Slowdowns of F1 over alternate configurations (scale 1/{scale})\n");
+    println!("{:<30} {:>9} {:>9} {:>9}", "Benchmark", "LT NTT", "LT Aut", "CSR");
+    let base_arch = ArchConfig::f1_default();
+    let mut lt_ntt_all = Vec::new();
+    let mut lt_aut_all = Vec::new();
+    let mut csr_all = Vec::new();
+    for b in all_benchmarks(scale) {
+        let ex = f1_compiler::expand::expand(&b.program, &Default::default());
+        let base = {
+            let plan = f1_compiler::movement::schedule(&ex, &base_arch);
+            f1_compiler::cycle::schedule(&ex, &plan, &base_arch).makespan
+        };
+        let with = |mutate: &dyn Fn(&mut ArchConfig)| {
+            let mut a = ArchConfig::f1_default();
+            mutate(&mut a);
+            let plan = f1_compiler::movement::schedule(&ex, &a);
+            f1_compiler::cycle::schedule(&ex, &plan, &a).makespan
+        };
+        let lt_ntt = with(&|a| a.low_throughput_ntt = true) as f64 / base as f64;
+        let lt_aut = with(&|a| a.low_throughput_aut = true) as f64 / base as f64;
+        let csr = match f1_compiler::csr::csr_order(&ex.dfg) {
+            Some(order) => {
+                let plan = f1_compiler::movement::schedule_with_order(&ex, &base_arch, Some(order));
+                let m = f1_compiler::cycle::schedule(&ex, &plan, &base_arch).makespan;
+                Some(m as f64 / base as f64)
+            }
+            None => None,
+        };
+        lt_ntt_all.push(lt_ntt);
+        lt_aut_all.push(lt_aut);
+        match csr {
+            Some(c) => {
+                csr_all.push(c);
+                println!("{:<30} {:>8.1}x {:>8.1}x {:>8.1}x", b.name, lt_ntt, lt_aut, c);
+            }
+            None => println!("{:<30} {:>8.1}x {:>8.1}x {:>9}", b.name, lt_ntt, lt_aut, "--*"),
+        }
+    }
+    println!(
+        "{:<30} {:>8.1}x {:>8.1}x {:>8.1}x",
+        "gmean slowdown", gmean(&lt_ntt_all), gmean(&lt_aut_all), gmean(&csr_all)
+    );
+    println!("\n* CSR is intractable for this benchmark (paper Table 5 footnote).");
+    println!("Paper gmean slowdowns: LT NTT 2.5x, LT Aut 3.6x, CSR 4.2x.");
+}

@@ -1,0 +1,35 @@
+//! # f1-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! §3 for the experiment index) plus Criterion microbenches of the
+//! software substrate. Run e.g.:
+//!
+//! ```text
+//! cargo run -p f1-bench --release --bin table3_benchmarks
+//! ```
+//!
+//! The `F1_SCALE` environment variable divides benchmark widths (default
+//! 8; use `F1_SCALE=1` for full-size instances — slower to schedule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use f1_arch::ArchConfig;
+use f1_sim::SimReport;
+use f1_workloads::Benchmark;
+
+/// Reads the benchmark reduction scale from `F1_SCALE` (default 8).
+pub fn bench_scale() -> usize {
+    std::env::var("F1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+}
+
+/// Compiles and simulates one benchmark on a configuration.
+pub fn run_benchmark(b: &Benchmark, arch: &ArchConfig) -> SimReport {
+    let (ex, plan, cs) = f1_compiler::compile(&b.program, arch);
+    f1_sim::check_schedule(&ex, &plan, &cs, arch)
+}
+
+/// Geometric mean helper.
+pub fn gmean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}

@@ -1,0 +1,263 @@
+//! Pass 3 — the cycle-level scheduler (§4.4).
+//!
+//! Takes the data-movement plan and assigns every instruction to a
+//! cluster and functional unit at an exact cycle, modeling FU occupancy
+//! and latency, operand transfers over the crossbars, register files and
+//! off-chip bandwidth. It never adds loads or stores (it is fully
+//! constrained by pass 2's off-chip schedule) but moves loads to their
+//! earliest possible issue cycle to avoid stalls. Resource hazards are
+//! resolved by delaying. Because the schedule is fully static, this pass
+//! doubles as the performance model.
+
+use crate::expand::Expanded;
+use crate::movement::MovePlan;
+use f1_arch::energy::EnergyCounters;
+use f1_arch::ArchConfig;
+use f1_isa::dfg::ValueId;
+use f1_isa::streams::{ComputeEntry, MemDir, MemEntry, NetEntry, StaticSchedule};
+use f1_isa::{ComponentId, FuType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The cycle-level schedule plus accounting the simulator verifies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleSchedule {
+    /// Per-component static streams.
+    pub schedule: StaticSchedule,
+    /// Exact issue cycle per DFG instruction (indexed by instruction id).
+    pub issue_cycle: Vec<u64>,
+    /// Exact completion cycle per DFG instruction.
+    pub done_cycle: Vec<u64>,
+    /// Total makespan in compute cycles.
+    pub makespan: u64,
+    /// Energy/traffic counters accumulated while scheduling (the
+    /// simulator re-derives and cross-checks them).
+    pub counters: EnergyCounters,
+}
+
+impl CycleSchedule {
+    /// Execution time in seconds at the configuration's clock.
+    pub fn seconds(&self, arch: &ArchConfig) -> f64 {
+        self.makespan as f64 / (arch.freq_ghz * 1e9)
+    }
+}
+
+/// Schedules the plan onto the machine.
+pub fn schedule(expanded: &Expanded, plan: &MovePlan, arch: &ArchConfig) -> CycleSchedule {
+    let dfg = &expanded.dfg;
+    let n_instr = dfg.instrs().len();
+    let n = dfg.n;
+    let mut out = StaticSchedule::new(arch.clusters);
+    let mut counters = EnergyCounters::default();
+
+    // --- Off-chip transfers: sequential over aggregate bandwidth, loads
+    // hoisted as early as possible (their plan order already reflects
+    // priority; pass 3 just packs them back-to-back).
+    let mut avail: HashMap<ValueId, u64> = HashMap::new();
+    let mut home: HashMap<ValueId, ComponentId> = HashMap::new();
+    let mut mem_free = 0u64;
+    let mut store_pending: Vec<(ValueId, u64)> = Vec::new();
+    for x in &plan.xfers {
+        match x.dir {
+            MemDir::Load => {
+                let start = mem_free;
+                mem_free = start + arch.mem_cycles(x.bytes);
+                let bank = (x.value.0 as usize) % arch.scratchpad_banks;
+                out.mem.push(MemEntry {
+                    cycle: start,
+                    dir: MemDir::Load,
+                    value: x.value,
+                    bytes: x.bytes,
+                    bank,
+                });
+                counters.hbm_bytes += x.bytes;
+                counters.scratchpad_bytes += x.bytes;
+                let done = mem_free + arch.hbm_latency_cycles;
+                // Reloads overwrite the availability time.
+                avail.insert(x.value, done);
+                home.insert(x.value, ComponentId::Bank(bank));
+            }
+            MemDir::Store => {
+                // Stores wait until the value exists; defer resolution.
+                store_pending.push((x.value, x.bytes));
+            }
+        }
+    }
+
+    // --- Compute: greedy earliest-start on the least-loaded cluster.
+    let mut fu_free: Vec<HashMap<FuType, Vec<u64>>> = (0..arch.clusters)
+        .map(|_| {
+            FuType::ALL
+                .iter()
+                .map(|&fu| (fu, vec![0u64; arch.fus_per_cluster(fu)]))
+                .collect()
+        })
+        .collect();
+    let mut issue_cycle = vec![0u64; n_instr];
+    let mut done_cycle = vec![0u64; n_instr];
+    let mut makespan = 0u64;
+    let net_latency = 8u64; // single-stage bit-sliced crossbar traversal
+
+    for &iid in &plan.order {
+        let instr = dfg.instr(iid);
+        let fu = instr.op.fu_type();
+        let occ = arch.occupancy(fu, n);
+        let lat = arch.latency(fu, n);
+        // Operand readiness (worst over inputs) + transfer if non-local.
+        let mut best: Option<(u64, usize, usize)> = None;
+        for c in 0..arch.clusters {
+            let mut ready = 0u64;
+            for &v in &instr.inputs {
+                let t = avail.get(&v).copied().unwrap_or(0);
+                let local = home.get(&v) == Some(&ComponentId::Cluster(c));
+                let arr = if local { t } else { t + net_latency };
+                ready = ready.max(arr);
+            }
+            let (slot, free_at) = fu_free[c][&fu]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(s, &t)| (s, t))
+                .unwrap();
+            let start = ready.max(free_at);
+            if best.map(|(b, _, _)| start < b).unwrap_or(true) {
+                best = Some((start, c, slot));
+            }
+        }
+        let (start, cluster, slot) = best.unwrap();
+        fu_free[cluster].get_mut(&fu).unwrap()[slot] = start + occ;
+        issue_cycle[iid.0 as usize] = start;
+        let done = start + occ + lat;
+        done_cycle[iid.0 as usize] = done;
+        makespan = makespan.max(done);
+        avail.insert(instr.output, done);
+        home.insert(instr.output, ComponentId::Cluster(cluster));
+        counters.add_fu_busy(fu, occ);
+        // Traffic: operands stream through RF (and NoC when remote).
+        for &v in &instr.inputs {
+            let bytes = dfg.value(v).bytes;
+            counters.rf_bytes += bytes;
+            if home.get(&v) != Some(&ComponentId::Cluster(cluster)) {
+                counters.noc_bytes += bytes;
+                out.net.push(NetEntry {
+                    cycle: start.saturating_sub(net_latency),
+                    value: v,
+                    from: *home.get(&v).unwrap_or(&ComponentId::Bank(0)),
+                    to: ComponentId::Cluster(cluster),
+                    bytes,
+                });
+            }
+        }
+        counters.rf_bytes += dfg.value(instr.output).bytes;
+        out.compute[cluster].push(ComputeEntry { cycle: start, instr: iid, fu, fu_index: slot });
+    }
+
+    // --- Stores: issue once the value is complete, packed on bandwidth.
+    for (v, bytes) in store_pending {
+        let ready = avail.get(&v).copied().unwrap_or(0);
+        let start = mem_free.max(ready);
+        mem_free = start + arch.mem_cycles(bytes);
+        makespan = makespan.max(mem_free);
+        counters.hbm_bytes += bytes;
+        counters.scratchpad_bytes += bytes;
+        let bank = (v.0 as usize) % arch.scratchpad_banks;
+        out.mem.push(MemEntry { cycle: start, dir: MemDir::Store, value: v, bytes, bank });
+    }
+    makespan = makespan.max(mem_free);
+    out.mem.sort_by_key(|m| m.cycle);
+    for stream in out.compute.iter_mut() {
+        stream.sort_by_key(|e| e.cycle);
+    }
+    out.net.sort_by_key(|e| e.cycle);
+    out.makespan = makespan;
+    out.validate_monotone();
+
+    CycleSchedule { schedule: out, issue_cycle, done_cycle, makespan, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Program;
+    use crate::expand::{expand, ExpandOptions};
+    use crate::movement;
+
+    fn compile(p: &Program, arch: &ArchConfig) -> (Expanded, MovePlan, CycleSchedule) {
+        let ex = expand(p, &ExpandOptions::default());
+        let plan = movement::schedule(&ex, arch);
+        let cs = schedule(&ex, &plan, arch);
+        (ex, plan, cs)
+    }
+
+    #[test]
+    fn dependences_hold_in_time() {
+        let p = Program::listing2_matvec(1 << 12, 4, 2);
+        let arch = ArchConfig::f1_default();
+        let (ex, _, cs) = compile(&p, &arch);
+        for instr in ex.dfg.instrs() {
+            for &v in &instr.inputs {
+                if let Some(prod) = ex.dfg.producer(v) {
+                    assert!(
+                        cs.done_cycle[prod.0 as usize] <= cs.issue_cycle[instr.id.0 as usize] + arch.latency(instr.op.fu_type(), ex.dfg.n),
+                        "instr {:?} starts before its operand {:?} completes",
+                        instr.id,
+                        v
+                    );
+                }
+            }
+        }
+        assert!(cs.makespan > 0);
+    }
+
+    #[test]
+    fn more_clusters_run_faster() {
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let mut small = ArchConfig::f1_default();
+        small.clusters = 2;
+        let big = ArchConfig::f1_default();
+        let (_, _, cs_small) = compile(&p, &small);
+        let (_, _, cs_big) = compile(&p, &big);
+        assert!(
+            cs_big.makespan < cs_small.makespan,
+            "16 clusters ({}) should beat 2 ({})",
+            cs_big.makespan,
+            cs_small.makespan
+        );
+    }
+
+    #[test]
+    fn low_throughput_ntt_is_slower() {
+        // Table 5, column "LT NTT": same aggregate throughput, worse time.
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let base = ArchConfig::f1_default();
+        let mut lt = ArchConfig::f1_default();
+        lt.low_throughput_ntt = true;
+        let (_, _, cs_base) = compile(&p, &base);
+        let (_, _, cs_lt) = compile(&p, &lt);
+        assert!(
+            cs_lt.makespan > cs_base.makespan,
+            "LT NTT {} must be slower than baseline {}",
+            cs_lt.makespan,
+            cs_base.makespan
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let p = Program::listing2_matvec(1 << 12, 4, 2);
+        let arch = ArchConfig::f1_default();
+        let (_, plan, cs) = compile(&p, &arch);
+        assert_eq!(cs.counters.hbm_bytes, plan.traffic.total());
+        assert!(cs.counters.rf_bytes > 0);
+        assert!(cs.counters.fu_busy_cycles.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let p = Program::listing2_matvec(1 << 12, 4, 2);
+        let arch = ArchConfig::f1_default();
+        let (_, _, cs) = compile(&p, &arch);
+        let s = cs.seconds(&arch);
+        assert!((s - cs.makespan as f64 * 1e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,636 @@
+//! Pass 1 — the homomorphic-operation compiler (§4.2).
+//!
+//! Responsibilities, per the paper:
+//!
+//! * **Ordering**: cluster independent homomorphic operations that reuse
+//!   the same key-switch hint, then list-schedule the clusters, so each
+//!   hint is fetched once and reused (Listing 2 would otherwise cycle
+//!   through 480 MB of hints four times, §4.2).
+//! * **Algorithmic choice**: pick the key-switch implementation
+//!   (Listing 1's decomposition variant vs the GHS-style `O(L)`-hint
+//!   variant) from `L`, hint reuse and FU load (§2.4, §4.2).
+//! * **Translation**: expand every homomorphic operation into
+//!   residue-vector instructions; one `Mul` at `L = 16` becomes ~1,600
+//!   instructions, dominated by the key-switch.
+
+use crate::dsl::{CtId, HomOp, Program};
+use f1_isa::dfg::{Dfg, ValueId, ValueKind, VectorOp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a key-switch hint (one pair of matrices, §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HintId {
+    /// The relinearization hint shared by every multiplication.
+    Relin,
+    /// The per-automorphism hint for exponent `k`.
+    Aut(usize),
+}
+
+/// Key-switch implementation selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeySwitchChoice {
+    /// Force Listing 1's decomposition variant.
+    Decomposition,
+    /// Force the GHS-style variant.
+    Ghs,
+    /// Let the compiler decide from `L`, reuse and footprint (§4.2).
+    Auto,
+}
+
+/// Options for the expansion pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpandOptions {
+    /// Key-switch implementation policy.
+    pub keyswitch: KeySwitchChoice,
+    /// Special (raised-modulus) limbs the GHS variant uses; `0` sizes it
+    /// to the operating level automatically.
+    pub ghs_specials: usize,
+    /// Scratchpad capacity assumed by the auto chooser.
+    pub scratchpad_bytes: u64,
+    /// Disable the hint-reuse reordering (for ablations; the paper's
+    /// Listing 2 discussion shows why leaving program order hurts).
+    pub keep_program_order: bool,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        Self {
+            keyswitch: KeySwitchChoice::Auto,
+            ghs_specials: 0,
+            scratchpad_bytes: 64 * 1024 * 1024,
+            keep_program_order: false,
+        }
+    }
+}
+
+/// The pass-1 output: an instruction DFG plus hint/ciphertext metadata.
+#[derive(Debug)]
+pub struct Expanded {
+    /// The instruction-level dataflow graph.
+    pub dfg: Dfg,
+    /// Residue vectors of each hint (for reuse accounting).
+    pub hint_values: HashMap<HintId, Vec<ValueId>>,
+    /// The key-switch variant actually used.
+    pub used_ghs: bool,
+    /// Ring dimension.
+    pub n: usize,
+    /// Output values per program output (a then b limbs).
+    pub output_values: Vec<Vec<ValueId>>,
+    /// The hint-reuse order of homomorphic ops chosen by the pass.
+    pub hom_order: Vec<usize>,
+}
+
+/// A ciphertext lowered to per-limb values (NTT domain).
+#[derive(Debug, Clone)]
+struct LoweredCt {
+    a: Vec<ValueId>,
+    b: Vec<ValueId>,
+}
+
+/// Expands a program into an instruction DFG.
+pub fn expand(program: &Program, opts: &ExpandOptions) -> Expanded {
+    let order = if opts.keep_program_order {
+        (0..program.ops().len()).collect()
+    } else {
+        hint_reuse_order(program)
+    };
+    let used_ghs = choose_keyswitch(program, opts);
+    let mut ex = Expander {
+        program,
+        dfg: Dfg::new(program.n),
+        hints: HashMap::new(),
+        cts: HashMap::new(),
+        plains: HashMap::new(),
+        priority: 0,
+        used_ghs,
+        ghs_specials: opts.ghs_specials,
+    };
+    for &op_idx in &order {
+        ex.lower_op(op_idx);
+    }
+    let mut output_values = Vec::new();
+    for &out in program.outputs() {
+        let ct = ex.cts.get(&out).expect("output must be a ciphertext").clone();
+        let mut vals = ct.a.clone();
+        vals.extend_from_slice(&ct.b);
+        for &v in &vals {
+            ex.dfg.mark_output(v);
+        }
+        output_values.push(vals);
+    }
+    ex.dfg.validate();
+    Expanded {
+        dfg: ex.dfg,
+        hint_values: ex.hints,
+        used_ghs,
+        n: program.n,
+        output_values,
+        hom_order: order,
+    }
+}
+
+/// Orders homomorphic operations to maximize hint reuse (§4.2): schedule
+/// hint-free ready operations eagerly, and among hint-using ready
+/// operations stay on the current hint as long as possible, switching to
+/// the hint with the most ready users when forced.
+pub fn hint_reuse_order(program: &Program) -> Vec<usize> {
+    let ops = program.ops();
+    let n_ops = ops.len();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+    let mut indegree = vec![0usize; n_ops];
+    for (i, op) in ops.iter().enumerate() {
+        for d in op_deps(op) {
+            deps[d.0 as usize].push(i);
+            indegree[i] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n_ops).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n_ops);
+    let mut current_hint: Option<HintId> = None;
+    while !ready.is_empty() {
+        ready.sort_unstable();
+        // 1. Drain hint-free ready ops (adds, plain ops, mod switches).
+        let pos = ready.iter().position(|&i| hint_of(&ops[i]).is_none());
+        let pick = if let Some(p) = pos {
+            p
+        } else {
+            // 2. Prefer the current hint; otherwise the most popular one.
+            let same =
+                ready.iter().position(|&i| hint_of(&ops[i]) == current_hint && current_hint.is_some());
+            match same {
+                Some(p) => p,
+                None => {
+                    let mut counts: HashMap<HintId, usize> = HashMap::new();
+                    for &i in &ready {
+                        if let Some(h) = hint_of(&ops[i]) {
+                            *counts.entry(h).or_insert(0) += 1;
+                        }
+                    }
+                    let best =
+                        counts.into_iter().max_by_key(|&(_, c)| c).map(|(h, _)| h).unwrap();
+                    current_hint = Some(best);
+                    ready.iter().position(|&i| hint_of(&ops[i]) == Some(best)).unwrap()
+                }
+            }
+        };
+        let chosen = ready.swap_remove(pick);
+        if let Some(h) = hint_of(&ops[chosen]) {
+            current_hint = Some(h);
+        }
+        order.push(chosen);
+        for &succ in &deps[chosen] {
+            indegree[succ] -= 1;
+            if indegree[succ] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    assert_eq!(order.len(), n_ops, "cycle in homomorphic-op graph");
+    order
+}
+
+fn op_deps(op: &HomOp) -> Vec<CtId> {
+    match op {
+        HomOp::Input { .. } | HomOp::PlainInput { .. } => vec![],
+        HomOp::Add { a, b } | HomOp::Mul { a, b } => vec![*a, *b],
+        HomOp::AddPlain { a, p } | HomOp::MulPlain { a, p } => vec![*a, *p],
+        HomOp::Aut { a, .. } | HomOp::ModSwitch { a } => vec![*a],
+    }
+}
+
+fn hint_of(op: &HomOp) -> Option<HintId> {
+    match op {
+        HomOp::Mul { .. } => Some(HintId::Relin),
+        HomOp::Aut { k, .. } => Some(HintId::Aut(*k)),
+        _ => None,
+    }
+}
+
+/// The §4.2 algorithmic choice: the decomposition variant has `L²`-sized
+/// hints but the least compute; GHS becomes attractive at very large `L`
+/// (paper: ~20) or when hints wildly exceed on-chip capacity with little
+/// reuse.
+fn choose_keyswitch(program: &Program, opts: &ExpandOptions) -> bool {
+    match opts.keyswitch {
+        KeySwitchChoice::Decomposition => return false,
+        KeySwitchChoice::Ghs => return true,
+        KeySwitchChoice::Auto => {}
+    }
+    let ops = program.ops();
+    let mut distinct: HashMap<HintId, usize> = HashMap::new();
+    let mut max_level = 1usize;
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(h) = hint_of(op) {
+            *distinct.entry(h).or_insert(0) += 1;
+            max_level = max_level.max(program.level_of(CtId(i as u32)));
+        }
+    }
+    if distinct.is_empty() {
+        return false;
+    }
+    if max_level >= 20 {
+        return true;
+    }
+    let uses: usize = distinct.values().sum();
+    let reuse = uses as f64 / distinct.len() as f64;
+    let hint_bytes: u64 =
+        distinct.len() as u64 * 2 * (max_level as u64).pow(2) * program.n as u64 * 4;
+    hint_bytes > 4 * opts.scratchpad_bytes && reuse < 3.0
+}
+
+struct Expander<'p> {
+    program: &'p Program,
+    dfg: Dfg,
+    hints: HashMap<HintId, Vec<ValueId>>,
+    cts: HashMap<CtId, LoweredCt>,
+    plains: HashMap<CtId, Vec<ValueId>>,
+    priority: u64,
+    used_ghs: bool,
+    ghs_specials: usize,
+}
+
+impl<'p> Expander<'p> {
+    fn next_priority(&mut self) -> u64 {
+        self.priority += 1;
+        self.priority
+    }
+
+    fn emit(&mut self, op: VectorOp, inputs: Vec<ValueId>) -> ValueId {
+        let p = self.next_priority();
+        self.dfg.add_instr(op, inputs, p)
+    }
+
+    fn lower_op(&mut self, idx: usize) {
+        let id = CtId(idx as u32);
+        let level = self.program.level_of(id);
+        match self.program.ops()[idx].clone() {
+            HomOp::Input { level } => {
+                let a = (0..level)
+                    .map(|i| {
+                        self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.a[{i}]")))
+                    })
+                    .collect();
+                let b = (0..level)
+                    .map(|i| {
+                        self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.b[{i}]")))
+                    })
+                    .collect();
+                self.cts.insert(id, LoweredCt { a, b });
+            }
+            HomOp::PlainInput { level } => {
+                let p = (0..level)
+                    .map(|i| self.dfg.add_value(ValueKind::Input, Some(format!("pt{idx}[{i}]"))))
+                    .collect();
+                self.plains.insert(id, p);
+            }
+            HomOp::Add { a, b } => {
+                let (x, y) = (self.cts[&a].clone(), self.cts[&b].clone());
+                let out = LoweredCt {
+                    a: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.a[i], y.a[i]])).collect(),
+                    b: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.b[i], y.b[i]])).collect(),
+                };
+                self.cts.insert(id, out);
+            }
+            HomOp::AddPlain { a, p } => {
+                let x = self.cts[&a].clone();
+                let pt = self.plains[&p].clone();
+                let out = LoweredCt {
+                    a: x.a.clone(),
+                    b: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.b[i], pt[i]])).collect(),
+                };
+                self.cts.insert(id, out);
+            }
+            HomOp::MulPlain { a, p } => {
+                let x = self.cts[&a].clone();
+                let pt = self.plains[&p].clone();
+                let out = LoweredCt {
+                    a: (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.a[i], pt[i]])).collect(),
+                    b: (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.b[i], pt[i]])).collect(),
+                };
+                self.cts.insert(id, out);
+            }
+            HomOp::Mul { a, b } => {
+                let (x, y) = (self.cts[&a].clone(), self.cts[&b].clone());
+                // Tensor (§2.2.1): l2 = a0*a1, l1 = a0*b1 + a1*b0, l0 = b0*b1.
+                let l2: Vec<ValueId> =
+                    (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.a[i], y.a[i]])).collect();
+                let l1: Vec<ValueId> = (0..level)
+                    .map(|i| {
+                        let t1 = self.emit(VectorOp::Mul, vec![x.a[i], y.b[i]]);
+                        let t2 = self.emit(VectorOp::Mul, vec![x.b[i], y.a[i]]);
+                        self.emit(VectorOp::Add, vec![t1, t2])
+                    })
+                    .collect();
+                let l0: Vec<ValueId> =
+                    (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.b[i], y.b[i]])).collect();
+                let (u0, u1) = self.keyswitch(&l2, HintId::Relin, level);
+                let out = LoweredCt {
+                    a: (0..level).map(|i| self.emit(VectorOp::Add, vec![l1[i], u1[i]])).collect(),
+                    b: (0..level).map(|i| self.emit(VectorOp::Add, vec![l0[i], u0[i]])).collect(),
+                };
+                self.cts.insert(id, out);
+            }
+            HomOp::Aut { a, k } => {
+                let x = self.cts[&a].clone();
+                let sa: Vec<ValueId> =
+                    (0..level).map(|i| self.emit(VectorOp::Aut { k }, vec![x.a[i]])).collect();
+                let sb: Vec<ValueId> =
+                    (0..level).map(|i| self.emit(VectorOp::Aut { k }, vec![x.b[i]])).collect();
+                let (u0, u1) = self.keyswitch(&sa, HintId::Aut(k), level);
+                let out = LoweredCt {
+                    a: u1,
+                    b: (0..level).map(|i| self.emit(VectorOp::Add, vec![sb[i], u0[i]])).collect(),
+                };
+                self.cts.insert(id, out);
+            }
+            HomOp::ModSwitch { a } => {
+                let x = self.cts[&a].clone();
+                let out_level = level; // already the reduced level
+                let top = out_level; // index of the dropped limb in inputs
+                let lower = |poly: &[ValueId], this: &mut Self| -> Vec<ValueId> {
+                    // δ = INTT(top limb); per remaining limb: NTT(δ),
+                    // subtract, scale by q_top^{-1} (§2.2.2 in RNS form).
+                    let delta = this.emit(VectorOp::Intt, vec![poly[top]]);
+                    (0..out_level)
+                        .map(|j| {
+                            let d = this.emit(VectorOp::Ntt, vec![delta]);
+                            let s = this.emit(VectorOp::Sub, vec![poly[j], d]);
+                            this.emit(VectorOp::ScalarMul, vec![s])
+                        })
+                        .collect()
+                };
+                let a_new = lower(&x.a, self);
+                let b_new = lower(&x.b, self);
+                self.cts.insert(id, LoweredCt { a: a_new, b: b_new });
+            }
+        }
+    }
+
+    /// Residue vectors of a hint's matrices, created on first use.
+    fn hint_vals(&mut self, hint: HintId, count: usize) -> Vec<ValueId> {
+        if let Some(v) = self.hints.get(&hint) {
+            if v.len() >= count {
+                return v.clone();
+            }
+        }
+        let vals: Vec<ValueId> = (0..count)
+            .map(|i| {
+                self.dfg
+                    .add_value(ValueKind::KeySwitchHint, Some(format!("{hint:?}[{i}]")))
+            })
+            .collect();
+        self.hints.insert(hint, vals.clone());
+        vals
+    }
+
+    /// Key-switch expansion: Listing 1 (decomposition) or GHS.
+    fn keyswitch(&mut self, x: &[ValueId], hint: HintId, l: usize) -> (Vec<ValueId>, Vec<ValueId>) {
+        if self.used_ghs {
+            self.keyswitch_ghs(x, hint, l)
+        } else {
+            self.keyswitch_decomp(x, hint, l)
+        }
+    }
+
+    /// Listing 1, line for line: `L` INTTs, `L(L-1)` forward NTTs,
+    /// `2L²` multiplies, `2L²` accumulating adds; hints are `2L²` RVecs.
+    fn keyswitch_decomp(
+        &mut self,
+        x: &[ValueId],
+        hint: HintId,
+        l: usize,
+    ) -> (Vec<ValueId>, Vec<ValueId>) {
+        let hints = self.hint_vals(hint, 2 * l * l);
+        let ksh0 = |i: usize, j: usize| hints[i * l + j];
+        let ksh1 = |i: usize, j: usize| hints[l * l + i * l + j];
+        // Line 3: y = [INTT(x[i])].
+        let y: Vec<ValueId> = (0..l).map(|i| self.emit(VectorOp::Intt, vec![x[i]])).collect();
+        let mut u0: Vec<Option<ValueId>> = vec![None; l];
+        let mut u1: Vec<Option<ValueId>> = vec![None; l];
+        for i in 0..l {
+            for j in 0..l {
+                // Line 8: xqj = (i == j) ? x[i] : NTT(y[i], q_j).
+                let xqj =
+                    if i == j { x[i] } else { self.emit(VectorOp::Ntt, vec![y[i]]) };
+                // Lines 9-10: multiply-accumulate against both hint rows.
+                let m0 = self.emit(VectorOp::Mul, vec![xqj, ksh0(i, j)]);
+                u0[j] = Some(match u0[j] {
+                    None => m0,
+                    Some(acc) => self.emit(VectorOp::Add, vec![acc, m0]),
+                });
+                let m1 = self.emit(VectorOp::Mul, vec![xqj, ksh1(i, j)]);
+                u1[j] = Some(match u1[j] {
+                    None => m1,
+                    Some(acc) => self.emit(VectorOp::Add, vec![acc, m1]),
+                });
+            }
+        }
+        (u0.into_iter().map(Option::unwrap).collect(), u1.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// GHS-style key-switch: raise `x` into `L + K` limbs, multiply by an
+    /// `O(L)` hint, then divide by the special modulus with rounding.
+    /// More compute, far smaller hints (§2.4).
+    fn keyswitch_ghs(
+        &mut self,
+        x: &[ValueId],
+        hint: HintId,
+        l: usize,
+    ) -> (Vec<ValueId>, Vec<ValueId>) {
+        let k = if self.ghs_specials == 0 { l.max(1) } else { self.ghs_specials };
+        let total = l + k;
+        let hints = self.hint_vals(hint, 2 * total);
+        let y: Vec<ValueId> = (0..l).map(|i| self.emit(VectorOp::Intt, vec![x[i]])).collect();
+        // Basis extension: per target limb, a digit-weighted sum of the
+        // coefficient-domain limbs, then one forward NTT.
+        let lifted: Vec<ValueId> = (0..total)
+            .map(|_| {
+                let mut acc = self.emit(VectorOp::ScalarMul, vec![y[0]]);
+                for yi in y.iter().skip(1) {
+                    acc = self.emit(VectorOp::ScalarMulAdd, vec![acc, *yi]);
+                }
+                self.emit(VectorOp::Ntt, vec![acc])
+            })
+            .collect();
+        let mut u0: Vec<ValueId> =
+            (0..total).map(|j| self.emit(VectorOp::Mul, vec![lifted[j], hints[j]])).collect();
+        let mut u1: Vec<ValueId> = (0..total)
+            .map(|j| self.emit(VectorOp::Mul, vec![lifted[j], hints[total + j]]))
+            .collect();
+        // Rounded division by each special prime (both polynomials).
+        for poly in [&mut u0, &mut u1] {
+            for sp in (l..total).rev() {
+                let delta = self.emit(VectorOp::Intt, vec![poly[sp]]);
+                for limb in poly.iter_mut().take(sp) {
+                    let d = self.emit(VectorOp::Ntt, vec![delta]);
+                    let s = self.emit(VectorOp::Sub, vec![*limb, d]);
+                    *limb = self.emit(VectorOp::ScalarMul, vec![s]);
+                }
+            }
+            poly.truncate(l);
+        }
+        (u0, u1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec() -> Program {
+        Program::listing2_matvec(1 << 12, 4, 4)
+    }
+
+    #[test]
+    fn listing1_instruction_counts() {
+        // One hom-mul at level L: tensor 4L mul + L add; key-switch L
+        // INTT + L(L-1) NTT + 2L^2 mul + 2L(L-1) add; final 2L adds.
+        let mut p = Program::new(1 << 10);
+        let x = p.input(4);
+        let y = p.input(4);
+        let m = p.mul(x, y);
+        p.output(m);
+        let ex = expand(&p, &ExpandOptions::default());
+        let counts = ex.dfg.op_counts();
+        let l = 4usize;
+        assert_eq!(counts["intt"], l);
+        assert_eq!(counts["ntt"], l * (l - 1));
+        assert_eq!(counts["mul"], 4 * l + 2 * l * l);
+        assert_eq!(counts["add"], l + 2 * l * (l - 1) + 2 * l);
+        assert!(!ex.used_ghs);
+    }
+
+    #[test]
+    fn hint_sizes_match_paper_example() {
+        // §2.4: at L = 16, N = 16K the key-switch hints are 32 MB.
+        let mut p = Program::new(1 << 14);
+        let x = p.input(16);
+        let y = p.input(16);
+        let m = p.mul(x, y);
+        p.output(m);
+        let ex = expand(&p, &ExpandOptions::default());
+        let hint_bytes: u64 = ex.hint_values[&HintId::Relin]
+            .iter()
+            .map(|&v| ex.dfg.value(v).bytes)
+            .sum();
+        assert_eq!(hint_bytes, 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn reordering_groups_hints() {
+        // Listing 2: program order interleaves rotations of different
+        // amounts across rows; the reuse order must group them so each
+        // hint's uses are consecutive.
+        let p = matvec();
+        let order = hint_reuse_order(&p);
+        let ops = p.ops();
+        let hints: Vec<HintId> =
+            order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
+        // Count hint switches: grouped order switches once per distinct
+        // hint (15 hints: 1 relin + 14 rotation amounts).
+        let mut switches = 1;
+        for w in hints.windows(2) {
+            if w[0] != w[1] {
+                switches += 1;
+            }
+        }
+        let distinct = {
+            let mut h = hints.clone();
+            h.sort_unstable();
+            h.dedup();
+            h.len()
+        };
+        // 1 relin + 12 rotation hints; the largest rotation amount wraps
+        // to σ_1 because ord(3) mod 2N = 2N/4, so distinct = 13 (not 15).
+        assert_eq!(distinct, 13);
+        assert_eq!(
+            switches, distinct,
+            "each hint must be visited exactly once ({switches} switches)"
+        );
+    }
+
+    #[test]
+    fn program_order_thrashes_hints() {
+        let p = matvec();
+        let opts = ExpandOptions { keep_program_order: true, ..Default::default() };
+        let ex = expand(&p, &opts);
+        // With program order, rotation hints interleave: more switches
+        // than distinct hints (the §4.2 motivating example).
+        let ops = p.ops();
+        let hints: Vec<HintId> =
+            ex.hom_order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
+        let mut switches = 1;
+        for w in hints.windows(2) {
+            if w[0] != w[1] {
+                switches += 1;
+            }
+        }
+        assert!(switches > 13, "program order should thrash ({switches} switches)");
+    }
+
+    #[test]
+    fn ghs_choice_at_large_l() {
+        let mut p = Program::new(1 << 10);
+        let x = p.input(21);
+        let y = p.input(21);
+        let m = p.mul(x, y);
+        p.output(m);
+        let ex = expand(&p, &ExpandOptions::default());
+        assert!(ex.used_ghs, "L >= 20 must select the GHS variant (§2.4)");
+        // GHS hints are O(L): 2(L+K) residue vectors, far below 2L².
+        let hint_count = ex.hint_values[&HintId::Relin].len();
+        assert!(hint_count <= 4 * 21 + 4, "GHS hint count {hint_count}");
+    }
+
+    #[test]
+    fn ghs_uses_more_compute() {
+        let build = || {
+            let mut p = Program::new(1 << 10);
+            let x = p.input(8);
+            let y = p.input(8);
+            let m = p.mul(x, y);
+            p.output(m);
+            p
+        };
+        let d = expand(&build(), &ExpandOptions {
+            keyswitch: KeySwitchChoice::Decomposition,
+            ..Default::default()
+        });
+        let g = expand(&build(), &ExpandOptions {
+            keyswitch: KeySwitchChoice::Ghs,
+            ..Default::default()
+        });
+        assert!(
+            g.dfg.instrs().len() > d.dfg.instrs().len(),
+            "GHS {} should exceed decomposition {} instructions",
+            g.dfg.instrs().len(),
+            d.dfg.instrs().len()
+        );
+        let hint_bytes = |e: &Expanded| -> u64 {
+            e.hint_values[&HintId::Relin].iter().map(|&v| e.dfg.value(v).bytes).sum()
+        };
+        assert!(hint_bytes(&g) < hint_bytes(&d) / 3, "GHS hints must be much smaller");
+    }
+
+    #[test]
+    fn modswitch_expansion() {
+        let mut p = Program::new(1 << 10);
+        let x = p.input(3);
+        let y = p.mod_switch(x);
+        p.output(y);
+        let ex = expand(&p, &ExpandOptions::default());
+        let c = ex.dfg.op_counts();
+        assert_eq!(c["intt"], 2, "one per polynomial");
+        assert_eq!(c["ntt"], 2 * 2);
+        assert_eq!(c["scalar_mul"], 2 * 2);
+        assert_eq!(ex.output_values[0].len(), 2 * 2, "output at level 2");
+    }
+
+    #[test]
+    fn full_matvec_expands_and_validates() {
+        let ex = expand(&matvec(), &ExpandOptions::default());
+        assert!(ex.dfg.instrs().len() > 1000, "{} instructions", ex.dfg.instrs().len());
+        assert_eq!(ex.output_values.len(), 4);
+    }
+}

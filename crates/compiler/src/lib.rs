@@ -1,0 +1,49 @@
+//! # f1-compiler — F1's three-pass static scheduling compiler (§4)
+//!
+//! F1 is statically scheduled: the compiler decides the exact cycle of
+//! every operation and data transfer (§3). This crate implements the full
+//! stack of Fig 3:
+//!
+//! 1. [`dsl`] — the high-level FHE DSL of Listing 2 (`Program`).
+//! 2. [`expand`] — the homomorphic-operation compiler (§4.2): orders
+//!    homomorphic operations to maximize key-switch-hint reuse, chooses
+//!    between key-switching implementations, and translates each
+//!    operation into residue-vector instructions (Listing 1's expansion).
+//! 3. [`movement`] — the off-chip data movement scheduler (§4.3): greedy
+//!    priority scheduling against a scratchpad model with Belady-style
+//!    furthest-reuse eviction.
+//! 4. [`cycle`] — the cycle-level scheduler (§4.4): distributes
+//!    instructions across clusters, models FU occupancy, network and
+//!    memory timing, and emits per-component static streams.
+//! 5. [`csr`] — the Goodman–Hsu register-pressure-aware baseline
+//!    scheduler used by the Table 5 sensitivity study.
+//!
+//! Because schedules are fully static, the cycle-level scheduler doubles
+//! as the performance model (§4.4 "our scheduler also doubles as a
+//! performance measurement tool").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod cycle;
+pub mod dsl;
+pub mod expand;
+pub mod movement;
+
+pub use cycle::CycleSchedule;
+pub use dsl::{CtId, HomOp, Program};
+pub use expand::{ExpandOptions, Expanded, KeySwitchChoice};
+pub use movement::MovePlan;
+
+/// Compiles a DSL program end-to-end with default options, returning the
+/// expanded DFG, the data-movement plan and the cycle-level schedule.
+pub fn compile(
+    program: &Program,
+    arch: &f1_arch::ArchConfig,
+) -> (Expanded, MovePlan, CycleSchedule) {
+    let expanded = expand::expand(program, &ExpandOptions::default());
+    let plan = movement::schedule(&expanded, arch);
+    let cycles = cycle::schedule(&expanded, &plan, arch);
+    (expanded, plan, cycles)
+}

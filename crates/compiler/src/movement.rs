@@ -1,0 +1,585 @@
+//! Pass 2 — the off-chip data movement scheduler (§4.3).
+//!
+//! Consumes the instruction DFG and produces an approximate schedule with
+//! decoupled data transfers. Uses the paper's simplified machine model
+//! (functional units directly attached to the scratchpad) and its greedy
+//! algorithm: instructions issue in priority order among *ready* ones
+//! (operands resident); loads get priority from their earliest user and
+//! issue as bandwidth allows; evictions pick dead values first, then the
+//! value with the furthest expected reuse — an approximation of Belady's
+//! optimal policy [8]. Dirty evictions add spill stores (and later fills)
+//! to the plan.
+
+use f1_arch::ArchConfig;
+use f1_isa::dfg::{Dfg, InstrId, ValueId, ValueKind};
+use f1_isa::streams::MemDir;
+use f1_isa::FuType;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::expand::Expanded;
+
+/// Off-chip traffic split by data class and necessity — the Fig 9a
+/// categories.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// First-time loads of key-switch hints.
+    pub ksh_compulsory: u64,
+    /// Hint reloads forced by capacity.
+    pub ksh_non_compulsory: u64,
+    /// First-time loads of inputs plus final output stores.
+    pub input_compulsory: u64,
+    /// Input reloads forced by capacity.
+    pub input_non_compulsory: u64,
+    /// Loads of spilled intermediates.
+    pub interm_load: u64,
+    /// Stores of spilled intermediates.
+    pub interm_store: u64,
+}
+
+impl TrafficBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.ksh_compulsory
+            + self.ksh_non_compulsory
+            + self.input_compulsory
+            + self.input_non_compulsory
+            + self.interm_load
+            + self.interm_store
+    }
+
+    /// Compulsory bytes (the lower bound a perfect scheduler approaches).
+    pub fn compulsory(&self) -> u64 {
+        self.ksh_compulsory + self.input_compulsory
+    }
+}
+
+/// One planned off-chip transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedXfer {
+    /// Approximate issue cycle (pass-2 clock).
+    pub cycle: u64,
+    /// Load or store.
+    pub dir: MemDir,
+    /// The value moved.
+    pub value: ValueId,
+    /// Bytes.
+    pub bytes: u64,
+}
+
+/// The pass-2 result: an instruction issue order plus transfer plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MovePlan {
+    /// Instructions in issue order.
+    pub order: Vec<InstrId>,
+    /// Planned transfers in issue order.
+    pub xfers: Vec<PlannedXfer>,
+    /// Traffic accounting.
+    pub traffic: TrafficBreakdown,
+    /// Approximate makespan of the simplified model, in cycles.
+    pub approx_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residency {
+    OffChip,
+    Resident,
+    /// Spilled intermediate currently in HBM.
+    Spilled,
+}
+
+/// Runs the data-movement scheduler with the DFG's priority order.
+pub fn schedule(expanded: &Expanded, arch: &ArchConfig) -> MovePlan {
+    schedule_with_order(expanded, arch, None)
+}
+
+/// Runs the scheduler with an explicit instruction order (used by the CSR
+/// baseline of §8.3); `None` uses DFG priorities.
+pub fn schedule_with_order(
+    expanded: &Expanded,
+    arch: &ArchConfig,
+    order_override: Option<Vec<InstrId>>,
+) -> MovePlan {
+    Scheduler::new(expanded, arch, order_override).run()
+}
+
+struct Scheduler<'a> {
+    dfg: &'a Dfg,
+    arch: &'a ArchConfig,
+    free_bytes: u64,
+    residency: HashMap<ValueId, Residency>,
+    dirty: HashSet<ValueId>,
+    resident_set: HashSet<ValueId>,
+    /// Per-value cursor into its (priority-ordered) user list.
+    user_cursor: HashMap<ValueId, usize>,
+    issued: Vec<bool>,
+    /// rank[instr] = issue-order key (priority by default, CSR override).
+    rank: Vec<u64>,
+    /// Ready instructions (all operands resident): min-heap by rank.
+    ready: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// Operands still missing per instruction.
+    missing: Vec<usize>,
+    /// Pending load requests: min-heap by (earliest-user rank, value).
+    pending_loads: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    requested: HashSet<ValueId>,
+    mem_cycle: u64,
+    compute_cycle: [f64; 4],
+    out: MovePlan,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(expanded: &'a Expanded, arch: &'a ArchConfig, order_override: Option<Vec<InstrId>>) -> Self {
+        let dfg = &expanded.dfg;
+        let n_instr = dfg.instrs().len();
+        let mut rank: Vec<u64> = dfg.instrs().iter().map(|i| i.priority).collect();
+        if let Some(order) = &order_override {
+            assert_eq!(order.len(), n_instr, "override must order every instruction");
+            for (pos, &i) in order.iter().enumerate() {
+                rank[i.0 as usize] = pos as u64;
+            }
+        }
+        let mut missing = vec![0usize; n_instr];
+        let mut ready = BinaryHeap::new();
+        for instr in dfg.instrs() {
+            missing[instr.id.0 as usize] = instr.inputs.len();
+            if instr.inputs.is_empty() {
+                ready.push(std::cmp::Reverse((rank[instr.id.0 as usize], instr.id.0)));
+            }
+        }
+        Self {
+            dfg,
+            arch,
+            free_bytes: arch.scratchpad_bytes(),
+            residency: HashMap::new(),
+            dirty: HashSet::new(),
+            resident_set: HashSet::new(),
+            user_cursor: HashMap::new(),
+            issued: vec![false; n_instr],
+            rank,
+            ready,
+            missing,
+            pending_loads: BinaryHeap::new(),
+            requested: HashSet::new(),
+            mem_cycle: 0,
+            compute_cycle: [0.0; 4],
+            out: MovePlan {
+                order: Vec::with_capacity(n_instr),
+                xfers: Vec::new(),
+                traffic: TrafficBreakdown::default(),
+                approx_cycles: 0,
+            },
+        }
+    }
+
+    fn run(mut self) -> MovePlan {
+        // Seed load requests for every loadable value that has users.
+        for v in self.dfg.values() {
+            let loadable = matches!(v.kind, ValueKind::Input | ValueKind::KeySwitchHint);
+            if loadable {
+                self.residency.insert(v.id, Residency::OffChip);
+                if !self.dfg.users(v.id).is_empty() {
+                    self.request_load(v.id);
+                }
+            }
+        }
+        let total = self.dfg.instrs().len();
+        let mut guard = 0u64;
+        while self.out.order.len() < total {
+            guard += 1;
+            assert!(
+                guard < 40 * total as u64 + 10_000,
+                "movement scheduler livelock at {}/{total}",
+                self.out.order.len()
+            );
+            // Decoupled prefetch: stay ahead of compute while space lasts.
+            self.drain_loads();
+            if let Some(i) = self.pop_ready() {
+                self.issue(i);
+            } else {
+                // Blocked on memory: force the most urgent load through,
+                // evicting live data if necessary.
+                assert!(
+                    self.force_one_load(),
+                    "scheduler deadlock: nothing ready and nothing loadable"
+                );
+            }
+        }
+        // Store outputs (compulsory output traffic).
+        for &v in self.dfg.outputs() {
+            let bytes = self.dfg.value(v).bytes;
+            self.mem_cycle += self.arch.mem_cycles(bytes);
+            self.out.traffic.input_compulsory += bytes;
+            self.out.xfers.push(PlannedXfer {
+                cycle: self.mem_cycle,
+                dir: MemDir::Store,
+                value: v,
+                bytes,
+            });
+        }
+        let compute = self.compute_cycle.iter().cloned().fold(0.0f64, f64::max) as u64;
+        self.out.approx_cycles = compute.max(self.mem_cycle);
+        self.out
+    }
+
+    fn compute_front(&self) -> u64 {
+        self.compute_cycle.iter().cloned().fold(0.0f64, f64::max) as u64
+    }
+
+    /// Issues pending loads while memory is not too far ahead of compute
+    /// and space is free (evicting only dead or clean-and-distant data).
+    fn drain_loads(&mut self) {
+        const LOOKAHEAD: u64 = 20_000;
+        while let Some(&std::cmp::Reverse((_, vid))) = self.pending_loads.peek() {
+            let v = ValueId(vid);
+            if self.resident_set.contains(&v) {
+                self.pending_loads.pop();
+                continue;
+            }
+            let have_ready = !self.ready.is_empty();
+            if have_ready && self.mem_cycle > self.compute_front() + LOOKAHEAD {
+                break;
+            }
+            let bytes = self.dfg.value(v).bytes;
+            if !self.make_space(bytes, false) {
+                break;
+            }
+            self.pending_loads.pop();
+            self.do_load(v, bytes);
+        }
+    }
+
+    fn force_one_load(&mut self) -> bool {
+        while let Some(std::cmp::Reverse((_, vid))) = self.pending_loads.pop() {
+            let v = ValueId(vid);
+            if self.resident_set.contains(&v) {
+                continue;
+            }
+            let bytes = self.dfg.value(v).bytes;
+            assert!(self.make_space(bytes, true), "cannot evict enough for one value");
+            self.do_load(v, bytes);
+            return true;
+        }
+        false
+    }
+
+    fn do_load(&mut self, v: ValueId, bytes: u64) {
+        let first_time = self.residency.get(&v) == Some(&Residency::OffChip);
+        let kind = self.dfg.value(v).kind;
+        match (kind, first_time) {
+            (ValueKind::KeySwitchHint, true) => self.out.traffic.ksh_compulsory += bytes,
+            (ValueKind::KeySwitchHint, false) => self.out.traffic.ksh_non_compulsory += bytes,
+            (ValueKind::Input, true) => self.out.traffic.input_compulsory += bytes,
+            (ValueKind::Input, false) => self.out.traffic.input_non_compulsory += bytes,
+            _ => self.out.traffic.interm_load += bytes,
+        }
+        self.mem_cycle += self.arch.mem_cycles(bytes);
+        self.out.xfers.push(PlannedXfer {
+            cycle: self.mem_cycle,
+            dir: MemDir::Load,
+            value: v,
+            bytes,
+        });
+        self.requested.remove(&v);
+        self.mark_resident(v, bytes, false);
+    }
+
+    fn mark_resident(&mut self, v: ValueId, bytes: u64, dirty: bool) {
+        debug_assert!(self.free_bytes >= bytes);
+        self.free_bytes -= bytes;
+        self.resident_set.insert(v);
+        self.residency.insert(v, Residency::Resident);
+        if dirty {
+            self.dirty.insert(v);
+        }
+        // Wake users whose operands are now all resident.
+        for &u in self.dfg.users(v) {
+            let ui = u.0 as usize;
+            if self.issued[ui] {
+                continue;
+            }
+            self.missing[ui] = self.missing[ui].saturating_sub(1);
+            if self.missing[ui] == 0 {
+                self.ready.push(std::cmp::Reverse((self.rank[ui], u.0)));
+            }
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<InstrId> {
+        while let Some(&std::cmp::Reverse((_, id))) = self.ready.peek() {
+            let i = InstrId(id);
+            let ii = id as usize;
+            if self.issued[ii] {
+                self.ready.pop();
+                continue;
+            }
+            // Revalidate: an operand may have been evicted since.
+            let instr = self.dfg.instr(i);
+            let missing: Vec<ValueId> = instr
+                .inputs
+                .iter()
+                .copied()
+                .filter(|v| !self.resident_set.contains(v))
+                .collect();
+            if missing.is_empty() {
+                self.ready.pop();
+                return Some(i);
+            }
+            self.ready.pop();
+            self.missing[ii] = missing.len();
+            for v in missing {
+                self.request_load(v);
+            }
+        }
+        None
+    }
+
+    fn request_load(&mut self, v: ValueId) {
+        if self.resident_set.contains(&v) || !self.requested.insert(v) {
+            return;
+        }
+        let urgency = self.next_use_rank(v);
+        self.pending_loads.push(std::cmp::Reverse((urgency, v.0)));
+    }
+
+    fn issue(&mut self, i: InstrId) {
+        let instr = self.dfg.instr(i).clone();
+        // Pin operands; account compute time on the FU class.
+        let occ = self.arch.occupancy(instr.op.fu_type(), self.dfg.n) as f64;
+        let fus = (self.arch.fus_per_cluster(instr.op.fu_type()) * self.arch.clusters) as f64;
+        let idx = fu_idx(instr.op.fu_type());
+        self.compute_cycle[idx] += occ / fus;
+        // Make room for the result (operands pinned).
+        let bytes = self.dfg.value(instr.output).bytes;
+        let pinned: HashSet<ValueId> = instr.inputs.iter().copied().collect();
+        assert!(
+            self.make_space_pinned(bytes, true, &pinned),
+            "cannot allocate result space"
+        );
+        self.issued[i.0 as usize] = true;
+        self.out.order.push(i);
+        self.mark_resident(instr.output, bytes, true);
+        // Free operands that just died.
+        for &v in &instr.inputs {
+            self.advance_cursor(v);
+            if self.next_use_rank(v) == u64::MAX && !self.dfg.outputs().contains(&v) {
+                self.evict(v, false);
+            }
+        }
+    }
+
+    /// Rank of the next unissued user of `v` (`u64::MAX` if none).
+    fn next_use_rank(&mut self, v: ValueId) -> u64 {
+        let users = self.dfg.users(v);
+        let cur = self.user_cursor.entry(v).or_insert(0);
+        while *cur < users.len() && self.issued[users[*cur].0 as usize] {
+            *cur += 1;
+        }
+        users
+            .iter()
+            .skip(*cur)
+            .filter(|u| !self.issued[u.0 as usize])
+            .map(|u| self.rank[u.0 as usize])
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    fn advance_cursor(&mut self, v: ValueId) {
+        let users = self.dfg.users(v);
+        let cur = self.user_cursor.entry(v).or_insert(0);
+        while *cur < users.len() && self.issued[users[*cur].0 as usize] {
+            *cur += 1;
+        }
+    }
+
+    fn make_space(&mut self, bytes: u64, allow_live: bool) -> bool {
+        self.make_space_pinned(bytes, allow_live, &HashSet::new())
+    }
+
+    /// Frees at least `bytes`, evicting dead values first, then (if
+    /// allowed) the live value with the furthest next use (§4.3's
+    /// Belady-style policy).
+    fn make_space_pinned(
+        &mut self,
+        bytes: u64,
+        allow_live: bool,
+        pinned: &HashSet<ValueId>,
+    ) -> bool {
+        if self.free_bytes >= bytes {
+            return true;
+        }
+        // Collect (next_use, value) for every resident candidate.
+        let mut candidates: Vec<(u64, ValueId)> = Vec::new();
+        let resident: Vec<ValueId> = self.resident_set.iter().copied().collect();
+        for v in resident {
+            if pinned.contains(&v) || self.dfg.outputs().contains(&v) {
+                continue;
+            }
+            candidates.push((self.next_use_rank(v), v));
+        }
+        // Furthest reuse first (dead values have rank MAX).
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        for (next_use, v) in candidates {
+            if self.free_bytes >= bytes {
+                return true;
+            }
+            if next_use != u64::MAX && !allow_live {
+                return self.free_bytes >= bytes;
+            }
+            self.evict(v, next_use != u64::MAX);
+        }
+        self.free_bytes >= bytes
+    }
+
+    fn evict(&mut self, v: ValueId, still_needed: bool) {
+        if !self.resident_set.remove(&v) {
+            return;
+        }
+        let bytes = self.dfg.value(v).bytes;
+        self.free_bytes += bytes;
+        let was_dirty = self.dirty.remove(&v);
+        let kind = self.dfg.value(v).kind;
+        if was_dirty && still_needed {
+            // Spill store (fill happens on the later reload).
+            self.out.traffic.interm_store += bytes;
+            self.mem_cycle += self.arch.mem_cycles(bytes);
+            self.out.xfers.push(PlannedXfer {
+                cycle: self.mem_cycle,
+                dir: MemDir::Store,
+                value: v,
+                bytes,
+            });
+            self.residency.insert(v, Residency::Spilled);
+        } else if matches!(kind, ValueKind::Input | ValueKind::KeySwitchHint) {
+            // Clean: still in HBM; mark for (non-compulsory) reload.
+            if self.residency.get(&v) != Some(&Residency::OffChip) {
+                self.residency.insert(v, Residency::Spilled);
+            }
+        }
+        if still_needed {
+            // Users will re-request on revalidation; proactively enqueue.
+            self.requested.remove(&v);
+            self.request_load(v);
+        }
+    }
+}
+
+fn fu_idx(fu: FuType) -> usize {
+    match fu {
+        FuType::Ntt => 0,
+        FuType::Aut => 1,
+        FuType::Mul => 2,
+        FuType::Add => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Program;
+    use crate::expand::{expand, ExpandOptions};
+
+    fn plan_for(p: &Program, arch: &ArchConfig) -> (Expanded, MovePlan) {
+        let ex = expand(p, &ExpandOptions::default());
+        let plan = schedule(&ex, arch);
+        (ex, plan)
+    }
+
+    #[test]
+    fn small_program_has_only_compulsory_traffic() {
+        let mut p = Program::new(1 << 12);
+        let x = p.input(4);
+        let y = p.input(4);
+        let m = p.mul(x, y);
+        p.output(m);
+        let arch = ArchConfig::f1_default();
+        let (ex, plan) = plan_for(&p, &arch);
+        assert_eq!(plan.order.len(), ex.dfg.instrs().len());
+        let t = plan.traffic;
+        assert_eq!(t.ksh_non_compulsory, 0);
+        assert_eq!(t.input_non_compulsory, 0);
+        assert_eq!(t.interm_load + t.interm_store, 0);
+        // Compulsory = all hints + all inputs + outputs.
+        let expect_inputs = 4 * 4 * (1 << 12) * 4u64; // 2 cts × 2 polys × 4 limbs
+        let expect_out = 2 * 4 * (1 << 12) * 4u64;
+        assert_eq!(t.input_compulsory, expect_inputs + expect_out);
+        assert_eq!(t.ksh_compulsory, 2 * 16 * (1 << 12) * 4);
+    }
+
+    #[test]
+    fn order_respects_dependences() {
+        let p = Program::listing2_matvec(1 << 12, 4, 4);
+        let arch = ArchConfig::f1_default();
+        let (ex, plan) = plan_for(&p, &arch);
+        let mut produced: std::collections::HashSet<ValueId> = ex
+            .dfg
+            .values()
+            .iter()
+            .filter(|v| ex.dfg.producer(v.id).is_none())
+            .map(|v| v.id)
+            .collect();
+        for &i in &plan.order {
+            for &inp in &ex.dfg.instr(i).inputs {
+                assert!(produced.contains(&inp), "instr {i:?} uses unproduced {inp:?}");
+            }
+            produced.insert(ex.dfg.instr(i).output);
+        }
+    }
+
+    #[test]
+    fn tiny_scratchpad_forces_noncompulsory_traffic() {
+        // Shrink the scratchpad below the hint working set: hints must be
+        // re-fetched (the §4.2 thrashing scenario).
+        let p = Program::listing2_matvec(1 << 12, 8, 4);
+        let mut arch = ArchConfig::f1_default();
+        arch.scratchpad_banks = 1;
+        arch.bank_bytes = 4 * 1024 * 1024; // 4 MB << 15 hints × 2 MB
+        let (_, plan) = plan_for(&p, &arch);
+        let big = plan.traffic;
+        let mut arch2 = ArchConfig::f1_default();
+        arch2.scratchpad_banks = 16;
+        let (_, plan2) = plan_for(&Program::listing2_matvec(1 << 12, 8, 4), &arch2);
+        let small = plan2.traffic;
+        assert!(
+            big.total() > small.total(),
+            "tiny scratchpad {} must move more than full {}",
+            big.total(),
+            small.total()
+        );
+        assert_eq!(small.ksh_non_compulsory, 0, "64 MB pad fits the matvec working set");
+    }
+
+    #[test]
+    fn hint_reuse_keeps_traffic_near_compulsory() {
+        // The paper's headline scheduling result (§8.2): non-compulsory
+        // traffic is a small fraction for reuse-friendly programs.
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let arch = ArchConfig::f1_default();
+        let (_, plan) = plan_for(&p, &arch);
+        let t = plan.traffic;
+        let frac = (t.total() - t.compulsory()) as f64 / t.total() as f64;
+        assert!(frac < 0.2, "non-compulsory fraction {frac:.2}");
+    }
+
+    #[test]
+    fn loads_are_planned_before_users() {
+        let mut p = Program::new(1 << 12);
+        let x = p.input(2);
+        let y = p.input(2);
+        let s = p.add(x, y);
+        p.output(s);
+        let arch = ArchConfig::f1_default();
+        let (ex, plan) = plan_for(&p, &arch);
+        // Every input value must appear as a load in the plan.
+        let loaded: std::collections::HashSet<ValueId> = plan
+            .xfers
+            .iter()
+            .filter(|x| x.dir == MemDir::Load)
+            .map(|x| x.value)
+            .collect();
+        for v in ex.dfg.values() {
+            if v.kind == ValueKind::Input && !ex.dfg.users(v.id).is_empty() {
+                assert!(loaded.contains(&v.id), "input {:?} never loaded", v.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Secret keys and key generation.
+
+use f1_poly::rns::{RnsContext, RnsPoly};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A ternary secret key `s`, stored in NTT form over the *full* context
+/// chain (program limbs plus special primes) so any level prefix can be
+/// truncated from it.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    ctx: Arc<RnsContext>,
+    /// `s` in NTT form at the full chain length.
+    s_ntt: RnsPoly,
+    /// The signed ternary coefficients (kept for bootstrapping-key
+    /// generation, where `s` itself must be encrypted).
+    s_signed: Vec<i64>,
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret key.
+    pub fn generate(ctx: &Arc<RnsContext>, rng: &mut impl Rng) -> Self {
+        let s_signed: Vec<i64> = (0..ctx.n()).map(|_| rng.gen_range(-1i64..=1)).collect();
+        let s = RnsPoly::from_signed_coeffs(ctx, ctx.max_level(), &s_signed);
+        Self { ctx: ctx.clone(), s_ntt: s.to_ntt(), s_signed }
+    }
+
+    /// The shared context.
+    pub fn context(&self) -> &Arc<RnsContext> {
+        &self.ctx
+    }
+
+    /// `s` in NTT form truncated to `level` limbs.
+    pub fn s_at_level(&self, level: usize) -> RnsPoly {
+        self.s_ntt.truncate_level(level)
+    }
+
+    /// `s²` in NTT form truncated to `level` limbs (the key homomorphic
+    /// multiplication key-switches away from, §2.2.1).
+    pub fn s_squared_at_level(&self, level: usize) -> RnsPoly {
+        let s = self.s_at_level(level);
+        s.mul(&s)
+    }
+
+    /// `σ_k(s)` in NTT form truncated to `level` limbs (the key a
+    /// homomorphic permutation key-switches away from).
+    pub fn s_automorphism_at_level(&self, k: usize, level: usize) -> RnsPoly {
+        self.s_at_level(level).automorphism(k)
+    }
+
+    /// The signed ternary coefficients of `s` (client-side secret; used to
+    /// generate bootstrapping keys, which encrypt `s` under itself).
+    pub fn signed_coeffs(&self) -> &[i64] {
+        &self.s_signed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secret_key_is_ternary_and_consistent() {
+        let ctx = RnsContext::for_ring(64, 30, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        assert!(sk.signed_coeffs().iter().all(|&c| (-1..=1).contains(&c)));
+        // NTT form round-trips to the signed coefficients.
+        let back = sk.s_at_level(3).to_coeff();
+        let direct = RnsPoly::from_signed_coeffs(&ctx, 3, sk.signed_coeffs());
+        assert_eq!(back, direct);
+    }
+
+    #[test]
+    fn s_squared_matches_ring_product() {
+        let ctx = RnsContext::for_ring(64, 30, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let s = sk.s_at_level(2);
+        assert_eq!(sk.s_squared_at_level(2), s.mul(&s));
+    }
+
+    #[test]
+    fn automorphism_key_consistency() {
+        let ctx = RnsContext::for_ring(64, 30, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let via_ntt = sk.s_automorphism_at_level(3, 2).to_coeff();
+        let direct = RnsPoly::from_signed_coeffs(&ctx, 2, sk.signed_coeffs())
+            .automorphism(3);
+        assert_eq!(via_ntt, direct);
+    }
+}

@@ -1,0 +1,52 @@
+//! # f1-fhe — the FHE schemes F1 accelerates
+//!
+//! F1 accelerates *primitive* operations (modular arithmetic, NTTs,
+//! automorphisms) rather than full homomorphic operations, which lets one
+//! set of functional units serve BGV, CKKS and GSW (paper §2.5). This crate
+//! is the software substrate implementing those schemes end to end:
+//!
+//! * [`params`] — parameter sets (ring dimension, RNS chain, plaintext
+//!   modulus, security estimation per §2.2.3).
+//! * [`keys`] — secret keys and key generation.
+//! * [`keyswitch`] — the two key-switching implementations the paper's
+//!   compiler chooses between (§2.4, §4.2): the `L²`-hint decomposition
+//!   variant of Listing 1 and a GHS-style variant with `O(L)` hints.
+//! * [`bgv`] — the BGV scheme: encryption, homomorphic add/multiply,
+//!   rotations, modulus switching, noise accounting (§2.2).
+//! * [`encoding`] — SIMD slot packing for BGV plaintexts.
+//! * [`ckks`] — CKKS approximate arithmetic with encode/decode through the
+//!   canonical embedding, rescaling, and rotations.
+//! * [`gsw`] — ring-GSW bit encryption and the external product.
+//! * [`bootstrap`] — non-packed bootstrapping for BGV (digit extraction)
+//!   and CKKS (sine-series EvalMod), the procedures behind the paper's two
+//!   bootstrapping benchmarks (§7).
+//!
+//! # Example
+//!
+//! ```
+//! use f1_fhe::params::BgvParams;
+//! use f1_fhe::bgv;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let params = BgvParams::test_small(64, 3);
+//! let keys = bgv::KeySet::generate(&params, &mut rng);
+//! let m = bgv::Plaintext::from_coeffs(&params, &[1, 2, 3]);
+//! let ct = keys.encrypt(&m, &mut rng);
+//! let ct2 = ct.mul(&ct, &keys.relin_hint());
+//! assert_eq!(keys.decrypt(&ct2).coeff(0), 1); // 1*1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgv;
+pub mod bootstrap;
+pub mod ckks;
+pub mod encoding;
+pub mod gsw;
+pub mod keys;
+pub mod keyswitch;
+pub mod params;
+
+pub use params::{BgvParams, CkksParams};

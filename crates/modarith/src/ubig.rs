@@ -1,0 +1,389 @@
+//! A minimal unsigned big integer for CRT reconstruction.
+//!
+//! F1 itself never performs wide arithmetic — RNS representation keeps every
+//! datapath at 32 bits (§2.3). Wide integers are only needed *around* the
+//! accelerator: to reconstruct plaintexts at decryption time and to measure
+//! ciphertext noise against `Q/2`. This module implements exactly the
+//! operations that requires and nothing more.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer, little-endian `u64` limbs.
+///
+/// Invariant: no trailing zero limbs (the canonical representation of zero
+/// is an empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Creates a big integer from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Creates a big integer from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut r = Self { limbs: vec![lo, hi] };
+        r.normalize();
+        r
+    }
+
+    /// The product of a slice of small factors (e.g. an RNS modulus chain).
+    pub fn product_of(factors: impl IntoIterator<Item = u64>) -> Self {
+        let mut acc = Self::one();
+        for f in factors {
+            acc = acc.mul_u64(f);
+        }
+        acc
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Sum of two big integers.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "UBig::sub would underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Product with a `u64`.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let p = l as u128 * m as u128 + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        Self { limbs: out }
+    }
+
+    /// Quotient and remainder when dividing by a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (Self, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut q = Self { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Remainder modulo a `u64`.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        self.div_rem_u64(d).1
+    }
+
+    /// Halves the value, rounding down.
+    pub fn half(&self) -> Self {
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            out[i] = (self.limbs[i] >> 1) | (carry << 63);
+            carry = self.limbs[i] & 1;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Reduces `self` modulo `m` by repeated subtraction of shifted copies.
+    ///
+    /// Efficient enough for our use (the dividend is at most `L·m` after a
+    /// CRT accumulation, so only a handful of subtractions happen).
+    pub fn rem(&self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "division by zero");
+        let mut r = self.clone();
+        while &r >= m {
+            // Shift m up as far as possible while staying <= r.
+            let shift = r.bit_len().saturating_sub(m.bit_len());
+            let mut cand = m.shl_bits(shift);
+            if cand > r {
+                cand = m.shl_bits(shift - 1);
+            }
+            r = r.sub(&cand);
+        }
+        r
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: u32) -> Self {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Approximate conversion to `f64` (for logging noise magnitudes).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 2f64.powi(64) + l as f64;
+        }
+        acc
+    }
+
+    /// Base-2 logarithm, `-inf` for zero.
+    pub fn log2(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        // Use the top two limbs for mantissa precision.
+        let n = self.limbs.len();
+        let top = self.limbs[n - 1] as f64;
+        let next = if n >= 2 { self.limbs[n - 2] as f64 } else { 0.0 };
+        let mant = top + next / 2f64.powi(64);
+        mant.log2() + ((n - 1) as f64) * 64.0
+    }
+
+    /// Exact conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Exact conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = format!("{}", digits.pop().unwrap());
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_normalization() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::from_u64(0), UBig::zero());
+        assert_eq!(UBig::from_u128(u64::MAX as u128 + 1).bit_len(), 65);
+        assert_eq!(UBig::from_u64(1).bit_len(), 1);
+        assert_eq!(UBig::from_u64(255).bit_len(), 8);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = UBig::from_u128(0xDEAD_BEEF_DEAD_BEEF_0123_4567_89AB_CDEF);
+        let b = UBig::from_u128(0x0101_0101_FFFF_FFFF_FFFF_FFFF_0000_0001);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&b).sub(&a), b);
+        assert_eq!(a.sub(&a), UBig::zero());
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = UBig::product_of([0x3FFC_0001u64, 0x3FED_0001, 0x3FDE_0001]);
+        for d in [3u64, 0x3FFC_0001, u64::MAX] {
+            let (q, r) = a.mul_u64(d).div_rem_u64(d);
+            assert_eq!(q, a);
+            assert_eq!(r, 0);
+        }
+        let (q, r) = a.div_rem_u64(7);
+        assert_eq!(q.mul_u64(7).add(&UBig::from_u64(r)), a);
+    }
+
+    #[test]
+    fn rem_matches_u128_reference() {
+        let a = UBig::from_u128(123_456_789_012_345_678_901_234_567_890u128);
+        let m = UBig::from_u128(987_654_321_987u128);
+        let want = 123_456_789_012_345_678_901_234_567_890u128 % 987_654_321_987u128;
+        assert_eq!(a.rem(&m).to_u128(), Some(want));
+    }
+
+    #[test]
+    fn ordering_and_comparison() {
+        let small = UBig::from_u64(5);
+        let big = UBig::from_u128(1u128 << 100);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn shift_and_half() {
+        let a = UBig::from_u64(0b1011);
+        assert_eq!(a.shl_bits(1).half(), a);
+        assert_eq!(a.shl_bits(64).div_rem_u64(2).0, a.shl_bits(63));
+        assert_eq!(UBig::from_u64(7).half(), UBig::from_u64(3));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::from_u64(42).to_string(), "42");
+        let v = UBig::from_u128(340_282_366_920_938_463_463_374_607_431_768_211_455u128);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211455");
+    }
+
+    #[test]
+    fn log2_is_close() {
+        let v = UBig::from_u64(1).shl_bits(100);
+        assert!((v.log2() - 100.0).abs() < 1e-9);
+        let w = v.mul_u64(3);
+        assert!((w.log2() - (100.0 + 3f64.log2())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_of_chain_matches_rem() {
+        let primes = [0x3FFC_0001u64, 0x3FED_0001, 0x3FDE_0001, 0x3FD2_0001];
+        let q = UBig::product_of(primes);
+        for &p in &primes {
+            assert_eq!(q.rem_u64(p), 0);
+        }
+        assert!(q.rem_u64(11) != 0 || q.rem_u64(13) != 0);
+    }
+}

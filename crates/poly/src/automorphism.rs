@@ -1,0 +1,298 @@
+//! Galois automorphisms `σ_k` and their vectorizable decomposition (§5.1).
+//!
+//! An automorphism maps `a(X) → a(X^k)` in `Z_q[X]/(X^N + 1)`, i.e. it
+//! sends the coefficient at index `i` to index `ik mod N` with a sign flip
+//! when `ik mod 2N >= N`. There are `N` automorphisms: `σ_k` and `σ_{-k}`
+//! for every odd `0 < k < N` (paper §2.2.1).
+//!
+//! The hardware challenge (§5.1) is that each `σ_k` spreads elements with a
+//! different stride, defeating banked-SRAM vectorization. F1's insight:
+//! viewing the residue polynomial as a `G × E` matrix, every `σ_k` factors
+//! into a *column permutation* that is identical for every chunk, a
+//! transpose, a *row permutation* local to each transposed chunk, and a
+//! transpose back — all operations on `E`-element vectors.
+//! [`apply_via_matrix`] implements exactly that pipeline and is checked
+//! against the direct definition.
+
+use crate::ntt::bit_reverse;
+use crate::transpose::QuadrantSwapUnit;
+use f1_modarith::Modulus;
+
+/// Validates an automorphism exponent: odd and in `(0, 2N)`.
+///
+/// `k` and `2N - k` give the `σ_k`/`σ_{-k}` pair of the paper.
+pub fn assert_valid_exponent(k: usize, n: usize) {
+    assert!(k % 2 == 1, "automorphism exponent must be odd, got {k}");
+    assert!(k > 0 && k < 2 * n, "automorphism exponent must lie in (0, 2N), got {k} for N={n}");
+}
+
+/// Applies `σ_k` to a polynomial in coefficient representation.
+///
+/// `out[ik mod N] = ± a[i]`, negated when `ik mod 2N >= N`.
+pub fn apply_coeff(a: &[u32], k: usize, m: &Modulus) -> Vec<u32> {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    assert_valid_exponent(k, n);
+    let mut out = vec![0u32; n];
+    let two_n = 2 * n;
+    for (i, &v) in a.iter().enumerate() {
+        let j2 = (i * k) % two_n;
+        if j2 < n {
+            out[j2] = v;
+        } else {
+            out[j2 - n] = m.neg(v);
+        }
+    }
+    out
+}
+
+/// Applies `σ_k` to a polynomial in the NTT domain (bit-reversed order, the
+/// convention of [`crate::ntt::NttTables`]).
+///
+/// In the evaluation domain the automorphism is a pure permutation: slot
+/// `i` (holding the evaluation at `ψ^{2i+1}`) reads from slot
+/// `(k(2i+1) - 1)/2 mod N`. No arithmetic is needed, which is why FHE
+/// implementations keep ciphertexts in the NTT domain across automorphisms
+/// (§2.3).
+pub fn apply_ntt(a_hat: &[u32], k: usize) -> Vec<u32> {
+    let n = a_hat.len();
+    assert!(n.is_power_of_two());
+    assert_valid_exponent(k, n);
+    let log_n = n.trailing_zeros();
+    let two_n = 2 * n;
+    let mut out = vec![0u32; n];
+    for s in 0..n {
+        let i = bit_reverse(s, log_n); // evaluation index of slot s
+        let src_eval = (k * (2 * i + 1)) % two_n;
+        debug_assert!(src_eval % 2 == 1);
+        let j = (src_eval - 1) / 2;
+        out[s] = a_hat[bit_reverse(j, log_n)];
+    }
+    out
+}
+
+/// Applies `σ_k` in coefficient representation through the hardware
+/// pipeline of Fig 6: per-chunk column permutation → transpose → per-chunk
+/// row permutation with sign flips → transpose back.
+///
+/// `e` is the lane width (chunk size); the polynomial is processed as a
+/// `G × E` matrix with `G = N / E`. Bit-exact with [`apply_coeff`].
+///
+/// # Panics
+///
+/// Panics if `e` does not divide `a.len()` or `G > E`.
+pub fn apply_via_matrix(a: &[u32], k: usize, e: usize, m: &Modulus) -> Vec<u32> {
+    let n = a.len();
+    assert!(n.is_power_of_two() && e.is_power_of_two());
+    assert!(n % e == 0, "lane width must divide N");
+    let g = n / e;
+    assert!(g <= e, "automorphism unit requires G <= E");
+    assert_valid_exponent(k, n);
+    let two_n = 2 * n;
+
+    // Stage 1: column permutation, identical for every chunk. Element at
+    // column c moves to column c*k mod E. ("Permute column" in Fig 5/6 —
+    // realized as a fixed pipeline of sub-permutations in hardware.)
+    let mut stage1 = vec![vec![0u32; e]; g];
+    for r in 0..g {
+        for c in 0..e {
+            stage1[r][(c * k) % e] = a[r * e + c];
+        }
+    }
+
+    // Stage 2: transpose through the quadrant-swap unit.
+    let unit = QuadrantSwapUnit::new(e);
+    let t = unit.transpose_rect(&stage1);
+
+    // Stage 3: per-chunk row permutation + sign flip. Transposed chunk c'
+    // (a row of length G) sends element r to row (r*k + d) mod G, where
+    // d = floor(c*k / E) mod G and c is the pre-permutation column
+    // (c = c' * k^{-1} mod E). The sign of each element depends on its
+    // original flat index i = r*E + c: negative iff i*k mod 2N >= N.
+    let k_inv_mod_e = mod_inverse_odd(k % (2 * e), e);
+    let mut stage3 = vec![vec![0u32; g]; e];
+    for c_prime in 0..e {
+        let c = (c_prime * k_inv_mod_e) % e;
+        let d = (c * k) / e % g;
+        for r in 0..g {
+            let dst = (r * k + d) % g;
+            let i = r * e + c;
+            let val = t[c_prime][r];
+            let negate = (i * k) % two_n >= n;
+            stage3[c_prime][dst] = if negate { m.neg(val) } else { val };
+        }
+    }
+
+    // Stage 4: transpose back and flatten.
+    let back = unit_transpose_back(&stage3, g, e);
+    let mut out = vec![0u32; n];
+    for r in 0..g {
+        for c in 0..e {
+            out[r * e + c] = back[r][c];
+        }
+    }
+    out
+}
+
+/// Transposes the `E × G` stage-3 matrix back to `G × E` using the same
+/// quadrant-swap unit (run in the mirrored direction).
+fn unit_transpose_back(rows: &[Vec<u32>], g: usize, e: usize) -> Vec<Vec<u32>> {
+    debug_assert_eq!(rows.len(), e);
+    // Pad E x G up to E x E, quadrant-swap transpose, take the top G rows.
+    let unit = QuadrantSwapUnit::new(e);
+    let padded: Vec<Vec<u32>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = r.clone();
+            row.resize(e, 0);
+            row
+        })
+        .collect();
+    let t = unit.transpose_square(&padded);
+    t.into_iter().take(g).collect()
+}
+
+/// Inverse of an odd `k` modulo a power of two `e`.
+fn mod_inverse_odd(k: usize, e: usize) -> usize {
+    debug_assert!(e.is_power_of_two());
+    debug_assert!(k % 2 == 1);
+    // Newton–Hensel on the 2-adics, enough iterations for e <= 2^64.
+    let mut x = k; // 3-bit correct
+    for _ in 0..6 {
+        x = x.wrapping_mul(2usize.wrapping_sub(k.wrapping_mul(x)));
+    }
+    x & (e - 1)
+}
+
+/// The exponent used to homomorphically rotate packed slots by `amount`
+/// positions: `k = 3^amount mod 2N` (the standard BGV/CKKS convention where
+/// 3 generates the slot-rotation subgroup of `(Z/2N)^*`).
+pub fn rotation_exponent(amount: usize, n: usize) -> usize {
+    let two_n = 2 * n as u64;
+    let mut k = 1u64;
+    for _ in 0..amount {
+        k = (k * 3) % two_n;
+    }
+    k as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::NttTables;
+    use f1_modarith::primes;
+    use rand::{Rng, SeedableRng};
+
+    fn modulus(n: usize) -> Modulus {
+        Modulus::new(primes::ntt_friendly_primes(n, 30, 1)[0])
+    }
+
+    #[test]
+    fn sigma_1_is_identity() {
+        let m = modulus(64);
+        let a: Vec<u32> = (0..64).collect();
+        assert_eq!(apply_coeff(&a, 1, &m), a);
+        assert_eq!(apply_ntt(&a, 1), a);
+    }
+
+    #[test]
+    fn composition_of_automorphisms() {
+        // σ_j ∘ σ_k = σ_{jk mod 2N}.
+        let n = 128;
+        let m = modulus(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let (j, k) = (5usize, 11usize);
+        let lhs = apply_coeff(&apply_coeff(&a, k, &m), j, &m);
+        let rhs = apply_coeff(&a, (j * k) % (2 * n), &m);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_automorphism_roundtrip() {
+        // σ_k ∘ σ_{k^{-1} mod 2N} = identity.
+        let n = 256;
+        let m = modulus(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let k = 77usize;
+        // Find k^{-1} mod 2N by brute force (test-only).
+        let k_inv = (1..2 * n).step_by(2).find(|&x| (x * k) % (2 * n) == 1).unwrap();
+        assert_eq!(apply_coeff(&apply_coeff(&a, k, &m), k_inv, &m), a);
+    }
+
+    #[test]
+    fn ntt_domain_commutes_with_coeff_domain() {
+        // NTT(σ_k(a)) == σ̂_k(NTT(a)) — the paper's §2.3 identity.
+        let n = 512;
+        let m = modulus(n);
+        let tables = NttTables::new(n, m);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        for k in [3usize, 5, 9, 2 * n - 1, n + 1] {
+            let mut lhs = apply_coeff(&a, k, &m);
+            tables.forward(&mut lhs);
+            let mut a_hat = a.clone();
+            tables.forward(&mut a_hat);
+            let rhs = apply_ntt(&a_hat, k);
+            assert_eq!(lhs, rhs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matrix_pipeline_matches_direct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        for (n, e) in [(16usize, 4usize), (64, 8), (1024, 32), (4096, 128)] {
+            let m = modulus(n);
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+            for k in [3usize, 5, n - 1, n + 3, 2 * n - 1] {
+                let want = apply_coeff(&a, k, &m);
+                let got = apply_via_matrix(&a, k, e, &m);
+                assert_eq!(got, want, "n={n}, e={e}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_example_sigma3_n16_e4() {
+        // The worked example of Fig 5: σ_3 on N=16, E=4. Signs aside, index
+        // i must land at 3i mod 16.
+        let n = 16;
+        let m = modulus(n);
+        let a: Vec<u32> = (1..=16).collect(); // distinct markers
+        let out = apply_via_matrix(&a, 3, 4, &m);
+        for i in 0..n {
+            let j = (3 * i) % n;
+            let expect = if (3 * i) % (2 * n) < n { a[i] } else { m.neg(a[i]) };
+            assert_eq!(out[j], expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn rotation_exponents_are_valid() {
+        let n = 1024;
+        for r in 0..10 {
+            let k = rotation_exponent(r, n);
+            assert_valid_exponent(k.max(1), n);
+        }
+        assert_eq!(rotation_exponent(0, n), 1);
+        assert_eq!(rotation_exponent(1, n), 3);
+        assert_eq!(rotation_exponent(2, n), 9);
+    }
+
+    #[test]
+    fn all_n_automorphisms_are_permutations() {
+        // Every odd k < 2N induces a bijection on indices (magnitude-wise).
+        let n = 64;
+        let m = modulus(n);
+        let a: Vec<u32> = (1..=n as u32).collect();
+        for k in (1..2 * n).step_by(2) {
+            let out = apply_coeff(&a, k, &m);
+            let mut seen: Vec<u32> =
+                out.iter().map(|&v| if v > m.value() / 2 { m.neg(v) } else { v }).collect();
+            seen.sort_unstable();
+            let want: Vec<u32> = (1..=n as u32).collect();
+            assert_eq!(seen, want, "k={k} must permute all magnitudes");
+        }
+    }
+}

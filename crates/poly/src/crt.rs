@@ -1,0 +1,128 @@
+//! CRT reconstruction of wide coefficients from RNS limbs.
+//!
+//! Only the client side of the FHE protocol (decryption, noise
+//! measurement) ever reconstructs wide integers; the accelerator stays in
+//! RNS end to end (§2.3). Reconstruction follows the classic formula
+//! `x = Σ_i (x_i * (Q/q_i)^{-1} mod q_i) * (Q/q_i)  (mod Q)`, then lifts to
+//! the centered representative in `(-Q/2, Q/2]`.
+
+use crate::rns::{CrtLevel, Domain, RnsPoly};
+use f1_modarith::UBig;
+
+/// A signed wide integer: `(negative, magnitude)`.
+pub type CenteredBig = (bool, UBig);
+
+/// Reconstructs coefficient `idx` of `p` as a centered wide integer.
+///
+/// Crate-internal workhorse shared with basis extension.
+pub(crate) fn reconstruct_centered_coeff(p: &RnsPoly, idx: usize, lvl: &CrtLevel) -> CenteredBig {
+    let mut acc = UBig::zero();
+    for i in 0..p.level() {
+        let m = p.context().modulus(i);
+        let scaled = m.mul(p.limb(i)[idx], lvl.q_over_qi_inv[i]);
+        acc = acc.add(&lvl.q_over_qi[i].mul_u64(scaled as u64));
+    }
+    // acc < L * Q; reduce mod Q then center.
+    let reduced = acc.rem(&lvl.q_big);
+    if reduced > lvl.q_half {
+        (true, lvl.q_big.sub(&reduced))
+    } else {
+        (false, reduced)
+    }
+}
+
+/// Reconstructs every coefficient of `p` as a centered wide integer.
+///
+/// # Panics
+///
+/// Panics if `p` is in NTT representation.
+pub fn reconstruct_centered(p: &RnsPoly) -> Vec<CenteredBig> {
+    assert_eq!(p.domain(), Domain::Coefficient, "reconstruct requires coefficient domain");
+    let lvl = p.context().crt_level(p.level());
+    (0..p.n()).map(|c| reconstruct_centered_coeff(p, c, lvl)).collect()
+}
+
+/// Reduces a centered wide integer modulo a small `t`, returning a value in
+/// `[0, t)` — the plaintext-recovery step of BGV decryption (§2.2).
+pub fn centered_mod_small(x: &CenteredBig, t: u64) -> u64 {
+    let r = x.1.rem_u64(t);
+    if x.0 && r != 0 {
+        t - r
+    } else {
+        r
+    }
+}
+
+/// The infinity norm (largest coefficient magnitude) of `p`, as a base-2
+/// logarithm. This is the noise-magnitude measurement used to validate the
+/// paper's noise-budget reasoning (§2.2.2).
+pub fn log2_infinity_norm(p: &RnsPoly) -> f64 {
+    reconstruct_centered(p)
+        .iter()
+        .map(|(_, mag)| mag.log2())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rns::RnsContext;
+
+    #[test]
+    fn small_values_reconstruct_exactly() {
+        let ctx = RnsContext::for_ring(64, 30, 3);
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64 - 32).collect();
+        let p = RnsPoly::from_signed_coeffs(&ctx, 3, &coeffs);
+        let rec = reconstruct_centered(&p);
+        for (got, &want) in rec.iter().zip(&coeffs) {
+            let mag = got.1.to_u64().unwrap() as i64;
+            let val = if got.0 { -mag } else { mag };
+            assert_eq!(val, want);
+        }
+    }
+
+    #[test]
+    fn wide_value_reconstructs() {
+        // Value larger than any single modulus: v = q_0 + 5 must come back
+        // exactly via CRT even though limb 0 only sees 5.
+        let ctx = RnsContext::for_ring(64, 30, 2);
+        let v = ctx.modulus(0).value() as u64 + 5;
+        let coeffs = vec![v; 64];
+        let p = RnsPoly::from_u64_coeffs(&ctx, 2, &coeffs);
+        let rec = reconstruct_centered(&p);
+        assert!(!rec[0].0);
+        assert_eq!(rec[0].1.to_u64(), Some(v));
+    }
+
+    #[test]
+    fn mod_small_handles_negatives() {
+        let x_pos: CenteredBig = (false, UBig::from_u64(17));
+        let x_neg: CenteredBig = (true, UBig::from_u64(17));
+        assert_eq!(centered_mod_small(&x_pos, 5), 2);
+        assert_eq!(centered_mod_small(&x_neg, 5), 3); // -17 ≡ 3 (mod 5)
+        let zero: CenteredBig = (true, UBig::zero());
+        assert_eq!(centered_mod_small(&zero, 5), 0);
+    }
+
+    #[test]
+    fn infinity_norm_tracks_magnitude() {
+        let ctx = RnsContext::for_ring(64, 30, 3);
+        let mut coeffs = vec![0i64; 64];
+        coeffs[7] = 1 << 20;
+        let p = RnsPoly::from_signed_coeffs(&ctx, 3, &coeffs);
+        let l = log2_infinity_norm(&p);
+        assert!((l - 20.0).abs() < 1e-9, "log2 norm = {l}");
+    }
+
+    #[test]
+    fn negative_of_q_half_boundary() {
+        // Exactly -(Q-1)/2 style values must center correctly.
+        let ctx = RnsContext::for_ring(16, 30, 2);
+        let p = RnsPoly::from_signed_coeffs(&ctx, 2, &vec![-1i64; 16]);
+        let rec = reconstruct_centered(&p);
+        for (neg, mag) in rec {
+            assert!(neg);
+            assert_eq!(mag.to_u64(), Some(1));
+        }
+    }
+}

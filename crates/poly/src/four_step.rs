@@ -1,0 +1,363 @@
+//! The four-step NTT decomposition implemented by F1's NTT unit (§5.2).
+//!
+//! A full 16K-point NTT datapath is prohibitive in hardware, so F1 composes
+//! `N`-point NTTs from `E = 128`-point NTTs using the four-step (Bailey [6])
+//! algorithm: first-stage `E`-point NTTs, a twiddle multiplication, a
+//! transpose (the quadrant-swap unit of [`crate::transpose`]), and
+//! second-stage NTTs, with negacyclic pre/post twists folded into the
+//! twiddle SRAM contents so that both forward and inverse negacyclic NTTs
+//! run through the *same* pipeline (the paper's §5.2 refinement of [49]).
+//!
+//! This module is the functional model of that unit: bit-exact against the
+//! reference transforms in [`crate::ntt`], structured exactly as the
+//! hardware dataflow (two passes of small NTTs around a twiddle multiply
+//! and transposes).
+
+use crate::ntt::bit_reverse;
+use crate::transpose::transpose_rows;
+use f1_modarith::mul::ShoupMul;
+use f1_modarith::Modulus;
+
+/// Precomputed state for four-step NTTs of size `n = g * e`.
+///
+/// `e` is the hardware lane count (128 in F1's implementation); `g = n / e`
+/// is the number of `e`-element chunks a residue polynomial occupies.
+/// Supports `g <= e` (the hardware bypasses butterfly layers of the second
+/// NTT when `g < e`).
+#[derive(Debug, Clone)]
+pub struct FourStepNtt {
+    n: usize,
+    e: usize,
+    g: usize,
+    modulus: Modulus,
+    /// Stage twiddles for the cyclic e-point NTT (root of order e).
+    stage_e: CyclicNtt,
+    /// Stage twiddles for the cyclic g-point NTT (root of order g).
+    stage_g: CyclicNtt,
+    /// Inverse-direction small NTTs.
+    stage_e_inv: CyclicNtt,
+    stage_g_inv: CyclicNtt,
+    /// Middle twiddles w^{j*a} (g rows of e), forward direction.
+    mid_fwd: Vec<ShoupMul>,
+    /// Middle twiddles w^{-j*a}, inverse direction.
+    mid_inv: Vec<ShoupMul>,
+    /// Negacyclic pre-twist ψ^i (forward), folded into the twiddle SRAM in
+    /// hardware; kept separate here for clarity.
+    twist_fwd: Vec<ShoupMul>,
+    /// Negacyclic post-twist ψ^{-i} * n^{-1} (inverse).
+    twist_inv: Vec<ShoupMul>,
+}
+
+/// A plain cyclic NTT of power-of-two size with natural-order input/output.
+///
+/// Small helper used for the per-row transforms of the four-step pipeline.
+#[derive(Debug, Clone)]
+struct CyclicNtt {
+    size: usize,
+    modulus: Modulus,
+    /// Twiddles indexed like the merged tables of [`crate::ntt::NttTables`]:
+    /// `tw[m + i]` is the butterfly constant for group `i` of the stage
+    /// with `m` groups.
+    tw: Vec<ShoupMul>,
+}
+
+impl CyclicNtt {
+    /// Builds tables for a cyclic NTT with the given root of unity `w`
+    /// (must have exact order `size`).
+    fn new(size: usize, w: u32, modulus: Modulus) -> Self {
+        assert!(size.is_power_of_two());
+        debug_assert_eq!(modulus.pow(w, size as u64), 1);
+        // tw[span + j] = w^{ (size / (2*span)) * j }: the butterfly constant
+        // for offset j within each group of the stage with butterfly span
+        // `span`. The input is bit-reverse permuted before the stages run,
+        // so the exponent is the plain offset j.
+        let mut tw = vec![ShoupMul::new(1 % modulus.value(), &modulus); size.max(1)];
+        let mut span = 1usize;
+        while span < size {
+            let stage_root = modulus.pow(w, (size / (2 * span)) as u64);
+            let mut cur = 1u32;
+            for j in 0..span {
+                tw[span + j] = ShoupMul::new(cur, &modulus);
+                cur = modulus.mul(cur, stage_root);
+            }
+            span *= 2;
+        }
+        Self { size, modulus, tw }
+    }
+
+    /// In-place cyclic NTT, natural order in, natural order out.
+    fn forward(&self, a: &mut [u32]) {
+        debug_assert_eq!(a.len(), self.size);
+        if self.size == 1 {
+            return;
+        }
+        let q = self.modulus.value();
+        // Bit-reverse permute the input, then run DIT butterflies; output
+        // comes out in natural order.
+        let log = self.size.trailing_zeros();
+        for i in 0..self.size {
+            let r = bit_reverse(i, log);
+            if r > i {
+                a.swap(i, r);
+            }
+        }
+        let mut span = 1usize;
+        while span < self.size {
+            let groups = self.size / (2 * span);
+            for grp in 0..groups {
+                let base = grp * span * 2;
+                for j in 0..span {
+                    let w = &self.tw[span + j];
+                    let u = a[base + j];
+                    let v = w.mul(a[base + j + span], q);
+                    a[base + j] = self.modulus.add(u, v);
+                    a[base + j + span] = self.modulus.sub(u, v);
+                }
+            }
+            span *= 2;
+        }
+    }
+}
+
+impl FourStepNtt {
+    /// Builds four-step tables for ring dimension `n` with `e` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not divisible into `g = n/e` chunks with
+    /// `1 <= g <= e`, or if the modulus lacks the required roots of unity.
+    pub fn new(n: usize, e: usize, modulus: Modulus) -> Self {
+        assert!(n.is_power_of_two() && e.is_power_of_two(), "sizes must be powers of two");
+        assert!(n >= e, "n must be at least e (got n={n}, e={e})");
+        let g = n / e;
+        assert!(g <= e, "four-step unit requires G <= E (got G={g}, E={e})");
+        let psi = modulus.primitive_root_of_unity(2 * n as u64);
+        let w = modulus.mul(psi, psi); // primitive n-th root
+        let w_inv = modulus.inv(w);
+        let psi_inv = modulus.inv(psi);
+        let w_e = modulus.pow(w, g as u64); // order e
+        let w_g = modulus.pow(w, e as u64); // order g
+        let stage_e = CyclicNtt::new(e, w_e, modulus);
+        let stage_g = CyclicNtt::new(g, w_g, modulus);
+        let stage_e_inv = CyclicNtt::new(e, modulus.inv(w_e), modulus);
+        let stage_g_inv = CyclicNtt::new(g, modulus.inv(w_g), modulus);
+
+        let mut mid_fwd = Vec::with_capacity(n);
+        let mut mid_inv = Vec::with_capacity(n);
+        for j in 0..g {
+            for a in 0..e {
+                let exp = (j * a) as u64;
+                mid_fwd.push(ShoupMul::new(modulus.pow(w, exp), &modulus));
+                mid_inv.push(ShoupMul::new(modulus.pow(w_inv, exp), &modulus));
+            }
+        }
+        let n_inv = modulus.inv(n as u32 % modulus.value());
+        let mut twist_fwd = Vec::with_capacity(n);
+        let mut twist_inv = Vec::with_capacity(n);
+        let mut pf = 1u32;
+        let mut pi = n_inv;
+        for _ in 0..n {
+            twist_fwd.push(ShoupMul::new(pf, &modulus));
+            twist_inv.push(ShoupMul::new(pi, &modulus));
+            pf = modulus.mul(pf, psi);
+            pi = modulus.mul(pi, psi_inv);
+        }
+        Self {
+            n,
+            e,
+            g,
+            modulus,
+            stage_e,
+            stage_g,
+            stage_e_inv,
+            stage_g_inv,
+            mid_fwd,
+            mid_inv,
+            twist_fwd,
+            twist_inv,
+        }
+    }
+
+    /// Ring dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lane count `E`.
+    pub fn e(&self) -> usize {
+        self.e
+    }
+
+    /// Chunk count `G = N / E`.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Forward negacyclic NTT via the four-step pipeline.
+    ///
+    /// Output ordering matches [`crate::ntt::NttTables::forward`] (bit-reversed
+    /// evaluation order), so results are interchangeable with the reference
+    /// transform.
+    pub fn forward(&self, a: &[u32]) -> Vec<u32> {
+        assert_eq!(a.len(), self.n);
+        let q = self.modulus.value();
+        let (g, e, n) = (self.g, self.e, self.n);
+        // Negacyclic pre-twist: y[i] = a[i] * psi^i (twiddle-SRAM contents
+        // in hardware).
+        // Gather into G rows of E: row j holds y[e*G + j] for e in 0..E —
+        // the streaming read order of the hardware unit.
+        let mut rows: Vec<Vec<u32>> = vec![vec![0u32; e]; g];
+        for j in 0..g {
+            for c in 0..e {
+                let idx = c * g + j;
+                rows[j][c] = self.twist_fwd[idx].mul(a[idx], q);
+            }
+        }
+        // Step 1: E-point NTT on each row (the first DIT NTT of Fig 8).
+        for row in rows.iter_mut() {
+            self.stage_e.forward(row);
+        }
+        // Step 2: twiddle multiply w^{j*a}.
+        for (j, row) in rows.iter_mut().enumerate() {
+            for (aidx, x) in row.iter_mut().enumerate() {
+                *x = self.mid_fwd[j * e + aidx].mul(*x, q);
+            }
+        }
+        // Step 3: transpose (quadrant-swap unit).
+        let cols = transpose_rows(&rows);
+        // Step 4: G-point NTT on each transposed row (the second, DIF NTT;
+        // layers beyond log2(G) are bypassed in hardware).
+        let mut out_mat = cols;
+        for row in out_mat.iter_mut() {
+            self.stage_g.forward(row);
+        }
+        // Scatter to natural order X[a + E*b] = V[a][b], then apply the
+        // bit-reversal that the reference transform's output convention uses.
+        let log_n = n.trailing_zeros();
+        let mut out = vec![0u32; n];
+        for aidx in 0..e {
+            for b in 0..g {
+                let k = aidx + e * b;
+                out[bit_reverse(k, log_n)] = out_mat[aidx][b];
+            }
+        }
+        out
+    }
+
+    /// Inverse negacyclic NTT via the four-step pipeline.
+    ///
+    /// Accepts input in the [`crate::ntt::NttTables`] bit-reversed order and returns
+    /// coefficients in natural order, matching [`crate::ntt::NttTables::inverse`].
+    pub fn inverse(&self, a_hat: &[u32]) -> Vec<u32> {
+        assert_eq!(a_hat.len(), self.n);
+        let q = self.modulus.value();
+        let (g, e, n) = (self.g, self.e, self.n);
+        let log_n = n.trailing_zeros();
+        // Undo the storage bit-reversal: natural-order spectrum Y[k].
+        // Inverse cyclic DFT via four-step with root w^{-1}: by symmetry of
+        // the derivation, x[cG + j] = (1/N) sum_k Y[k] w^{-k(cG+j)} — run
+        // the same pipeline on Y with inverse-direction tables, reading the
+        // roles of (rows, cols) mirrored.
+        let mut rows: Vec<Vec<u32>> = vec![vec![0u32; e]; g];
+        for j in 0..g {
+            for c in 0..e {
+                // Gather Y[c*g + j] pattern mirrored: we process the
+                // spectrum as G rows of E in the k = a + E*b layout:
+                // row j of the inverse holds Y[j + G*c']? Use the direct
+                // mirror: inverse of `forward` output mapping.
+                let k = c * g + j;
+                rows[j][c] = a_hat[bit_reverse(k, log_n)];
+            }
+        }
+        for row in rows.iter_mut() {
+            self.stage_e_inv.forward(row);
+        }
+        for (j, row) in rows.iter_mut().enumerate() {
+            for (aidx, x) in row.iter_mut().enumerate() {
+                *x = self.mid_inv[j * e + aidx].mul(*x, q);
+            }
+        }
+        let cols = transpose_rows(&rows);
+        let mut mat = cols;
+        for row in mat.iter_mut() {
+            self.stage_g_inv.forward(row);
+        }
+        // Scatter: x_twisted[a + E*b] = V[a][b]; then undo the negacyclic
+        // twist and the 1/N scale (twist_inv = psi^{-i}/N).
+        let mut out = vec![0u32; n];
+        for aidx in 0..e {
+            for b in 0..g {
+                let k = aidx + e * b;
+                out[k] = self.twist_inv[k].mul(mat[aidx][b], q);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::NttTables;
+    use f1_modarith::primes;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, e: usize) -> (FourStepNtt, NttTables) {
+        let q = primes::ntt_friendly_primes(n, 30, 1)[0];
+        let m = Modulus::new(q);
+        (FourStepNtt::new(n, e, m), NttTables::new(n, m))
+    }
+
+    #[test]
+    fn four_step_matches_reference_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for (n, e) in [(64usize, 8usize), (256, 16), (1024, 32), (16384, 128)] {
+            let (fs, reference) = setup(n, e);
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..fs.modulus.value())).collect();
+            let got = fs.forward(&a);
+            let mut want = a.clone();
+            reference.forward(&mut want);
+            assert_eq!(got, want, "n={n}, e={e}");
+        }
+    }
+
+    #[test]
+    fn four_step_matches_reference_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for (n, e) in [(64usize, 8usize), (1024, 32), (4096, 128)] {
+            let (fs, reference) = setup(n, e);
+            let a_hat: Vec<u32> = (0..n).map(|_| rng.gen_range(0..fs.modulus.value())).collect();
+            let got = fs.inverse(&a_hat);
+            let mut want = a_hat.clone();
+            reference.inverse(&mut want);
+            assert_eq!(got, want, "n={n}, e={e}");
+        }
+    }
+
+    #[test]
+    fn four_step_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (fs, _) = setup(2048, 128);
+        let a: Vec<u32> = (0..2048).map(|_| rng.gen_range(0..fs.modulus.value())).collect();
+        assert_eq!(fs.inverse(&fs.forward(&a)), a);
+    }
+
+    #[test]
+    fn supports_all_paper_ring_sizes_at_e128() {
+        // N from 1K to 16K with E=128 lanes: G = 8..128, all G <= E.
+        for log_n in 10..=14 {
+            let n = 1usize << log_n;
+            let (fs, _) = setup(n, 128);
+            assert_eq!(fs.g(), n / 128);
+            let a: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(fs.inverse(&fs.forward(&a)), a, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "G <= E")]
+    fn rejects_too_many_groups() {
+        let q = primes::ntt_friendly_primes(1 << 14, 30, 1)[0];
+        FourStepNtt::new(1 << 14, 8, Modulus::new(q));
+    }
+}

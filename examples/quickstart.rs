@@ -1,0 +1,42 @@
+//! Quickstart: encrypt data with BGV, compute on it homomorphically,
+//! compile the same computation for F1, and compare execution estimates.
+//!
+//! Run with: `cargo run -p f1 --release --example quickstart`
+
+use f1::arch::ArchConfig;
+use f1::compiler::Program;
+use f1::fhe::bgv::{KeySet, Plaintext};
+use f1::fhe::params::BgvParams;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // --- 1. Software FHE: encrypt, compute, decrypt.
+    let params = BgvParams::test_small(1024, 3);
+    let keys = KeySet::generate(&params, &mut rng);
+    let x = Plaintext::from_coeffs(&params, &[7]);
+    let y = Plaintext::from_coeffs(&params, &[6]);
+    let ct = keys.encrypt(&x, &mut rng).mul(&keys.encrypt(&y, &mut rng), keys.relin_hint());
+    println!("homomorphic 7 * 6 = {}", keys.decrypt(&ct).coeff(0));
+    assert_eq!(keys.decrypt(&ct).coeff(0), 42);
+
+    // --- 2. The same computation as an F1 program, statically scheduled.
+    let mut p = Program::new(1 << 14);
+    let a = p.input(16);
+    let b = p.input(16);
+    let prod = p.mul(a, b);
+    p.output(prod);
+    let arch = ArchConfig::f1_default();
+    let (ex, plan, cycles) = f1::compiler_compile(&p, &arch);
+    let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+    println!(
+        "one homomorphic multiply at N=16K, L=16: {} instructions, {} cycles ({:.2} µs), {} MB off-chip",
+        ex.dfg.instrs().len(),
+        report.makespan,
+        report.seconds * 1e6,
+        report.traffic.total() / (1024 * 1024),
+    );
+    println!("key-switch hints resident: {} MB (the paper's 32 MB example, §2.4)",
+        plan.traffic.ksh_compulsory / (1024 * 1024));
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full pipeline from DSL program to
+//! validated cycle-accurate schedule, cross-checked against functional
+//! execution on the real FHE implementation.
+
+use f1::arch::ArchConfig;
+use f1::compiler::dsl::CtId;
+use f1::compiler::{ExpandOptions, Program};
+use f1::fhe::encoding::SlotEncoder;
+use f1::fhe::params::BgvParams;
+use f1::sim::BgvExecutor;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+#[test]
+fn compile_simulate_and_verify_matvec() {
+    // One program, two worlds: (a) compiled and cycle-simulated for F1,
+    // (b) functionally executed on real BGV; both must succeed, and the
+    // functional result must be numerically correct.
+    let n_hw = 1 << 13;
+    let p_hw = Program::listing2_matvec(n_hw, 8, 4);
+    let arch = ArchConfig::f1_default();
+    let (ex, plan, cycles) = f1::compiler_compile(&p_hw, &arch);
+    let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+    assert!(report.makespan > 0);
+    assert!(report.traffic.compulsory() > 0);
+    assert!(report.seconds < 1.0, "a 4-row matvec must run far under a second");
+
+    let n_sw = 64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let params = BgvParams::test_small(n_sw, 4);
+    let enc = SlotEncoder::new(&params);
+    let mut p = Program::new(n_sw);
+    let row = p.input(4);
+    let v = p.input(4);
+    let prod = p.mul(row, v);
+    let sum = p.inner_sum(prod, n_sw / 2);
+    p.output(sum);
+    let exec = BgvExecutor::new(params.clone(), &p, &mut rng);
+    let row_data: Vec<u64> = (0..n_sw / 2).map(|j| (j % 5) as u64).collect();
+    let vec_data: Vec<u64> = (0..n_sw / 2).map(|j| (j % 3) as u64).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert(row, enc.encode(&[row_data.clone(), row_data.clone()], &params));
+    inputs.insert(v, enc.encode(&[vec_data.clone(), vec_data.clone()], &params));
+    let run = exec.run(&p, &inputs, &HashMap::new(), &mut rng);
+    let want: u64 = row_data.iter().zip(&vec_data).map(|(&a, &b)| a * b).sum::<u64>()
+        % params.plaintext_modulus;
+    assert_eq!(enc.decode(&run.outputs[0])[0][0], want);
+}
+
+#[test]
+fn every_benchmark_compiles_validates_and_is_memory_sane() {
+    let arch = ArchConfig::f1_default();
+    for b in f1::workloads::all_benchmarks(16) {
+        let (ex, plan, cycles) = f1::compiler_compile(&b.program, &arch);
+        let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+        // Traffic can never be below the compulsory bound.
+        assert!(report.traffic.total() >= report.traffic.compulsory(), "{}", b.name);
+        // The schedule must beat a fully serialized execution.
+        let serial: u64 = ex
+            .dfg
+            .instrs()
+            .iter()
+            .map(|i| arch.occupancy(i.op.fu_type(), ex.dfg.n))
+            .sum();
+        assert!(
+            report.makespan < serial,
+            "{}: makespan {} not better than serial {serial}",
+            b.name,
+            report.makespan
+        );
+    }
+}
+
+#[test]
+fn ghs_and_decomposition_schedules_both_validate() {
+    let arch = ArchConfig::f1_default();
+    let mut p = Program::new(1 << 12);
+    let x = p.input(8);
+    let y = p.input(8);
+    let m = p.mul(x, y);
+    let r = p.aut(m, 3);
+    p.output(r);
+    for choice in [
+        f1::compiler::KeySwitchChoice::Decomposition,
+        f1::compiler::KeySwitchChoice::Ghs,
+    ] {
+        let opts = ExpandOptions { keyswitch: choice, ..Default::default() };
+        let ex = f1::compiler::expand::expand(&p, &opts);
+        let plan = f1::compiler::movement::schedule(&ex, &arch);
+        let cycles = f1::compiler::cycle::schedule(&ex, &plan, &arch);
+        let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+        assert!(report.makespan > 0, "{choice:?}");
+    }
+}
+
+#[test]
+fn hint_reuse_beats_program_order_on_traffic() {
+    // The §4.2 motivating claim, end to end: reuse-ordered compilation
+    // must move no more hint bytes than program-order compilation on a
+    // capacity-constrained scratchpad.
+    let p = Program::listing2_matvec(1 << 13, 8, 4);
+    let mut arch = ArchConfig::f1_default();
+    arch.scratchpad_banks = 4; // 16 MB: each hint is 4 MB, 13 hints don't fit
+    let reuse = {
+        let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
+        f1::compiler::movement::schedule(&ex, &arch).traffic.total()
+    };
+    let program_order = {
+        let opts = ExpandOptions { keep_program_order: true, ..Default::default() };
+        let ex = f1::compiler::expand::expand(&p, &opts);
+        f1::compiler::movement::schedule(&ex, &arch).traffic.total()
+    };
+    assert!(
+        reuse <= program_order,
+        "hint-reuse {reuse} must not exceed program-order {program_order}"
+    );
+}
+
+#[test]
+fn listing2_hom_op_counts() {
+    let p = Program::listing2_matvec(1 << 14, 16, 4);
+    // 15 hint groups: 1 relin + 14 rotations (log2 16K); §4.2's "480 MB"
+    // example counts 15 hint sets.
+    let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
+    assert_eq!(ex.hint_values.len(), 15);
+    let hint_bytes: u64 = ex
+        .hint_values
+        .values()
+        .flat_map(|vals| vals.iter().map(|&v| ex.dfg.value(v).bytes))
+        .sum();
+    // 15 hints × 32 MB = 480 MB, exceeding on-chip storage — the paper's
+    // exact number.
+    assert_eq!(hint_bytes, 480 * 1024 * 1024);
+    let _ = CtId(0);
+}

@@ -1,0 +1,74 @@
+//! Property-based tests over the compilation pipeline: random small
+//! programs must always produce valid, hazard-free schedules with
+//! traffic at least the compulsory bound.
+
+use f1::arch::ArchConfig;
+use f1::compiler::{ExpandOptions, Program};
+use proptest::prelude::*;
+
+/// A random program: a sequence of ops over a growing set of ciphertexts.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(0u8..5, 1..20).prop_map(|choices| {
+        let mut p = Program::new(1 << 10);
+        let mut cts = vec![p.input(4), p.input(4)];
+        let mut idx = 0usize;
+        for c in choices {
+            let a = cts[idx % cts.len()];
+            let b = cts[(idx / 2) % cts.len()];
+            idx += 1;
+            let lvl_a = p.level_of(a);
+            let lvl_b = p.level_of(b);
+            let new = match c {
+                0 if lvl_a == lvl_b => p.add(a, b),
+                1 if lvl_a == lvl_b => p.mul(a, b),
+                2 => p.aut(a, 3),
+                3 => p.rotate(a, 1 + idx % 4),
+                4 if lvl_a >= 2 => p.mod_switch(a),
+                _ => p.aut(a, 5),
+            };
+            cts.push(new);
+        }
+        p.output(*cts.last().unwrap());
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_schedule_validly(p in arb_program()) {
+        let arch = ArchConfig::f1_default();
+        let (ex, plan, cycles) = f1::compiler_compile(&p, &arch);
+        // check_schedule panics on any dependence/hazard violation.
+        let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+        prop_assert!(report.traffic.total() >= report.traffic.compulsory());
+        prop_assert_eq!(plan.order.len(), ex.dfg.instrs().len());
+        prop_assert!(report.makespan > 0);
+    }
+
+    #[test]
+    fn scratchpad_size_never_increases_traffic_when_grown(p in arb_program()) {
+        // Monotonicity: a bigger scratchpad cannot force more traffic.
+        let mut small = ArchConfig::f1_default();
+        small.scratchpad_banks = 1;
+        small.bank_bytes = 2 * 1024 * 1024;
+        let big = ArchConfig::f1_default();
+        let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
+        let t_small = f1::compiler::movement::schedule(&ex, &small).traffic.total();
+        let t_big = f1::compiler::movement::schedule(&ex, &big).traffic.total();
+        prop_assert!(t_big <= t_small, "big pad {t_big} > small pad {t_small}");
+    }
+
+    #[test]
+    fn csr_orders_are_always_valid(p in arb_program()) {
+        let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
+        if let Some(order) = f1::compiler::csr::csr_order(&ex.dfg) {
+            let arch = ArchConfig::f1_default();
+            let plan = f1::compiler::movement::schedule_with_order(&ex, &arch, Some(order));
+            let cycles = f1::compiler::cycle::schedule(&ex, &plan, &arch);
+            let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
+            prop_assert!(report.makespan > 0);
+        }
+    }
+}
