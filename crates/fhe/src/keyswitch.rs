@@ -490,7 +490,7 @@ mod tests {
 
     /// Checks u0 - u1*s ≡ x*target + t*E with small E.
     fn check_keyswitch(
-        ctx: &Arc<RnsContext>,
+        _ctx: &Arc<RnsContext>,
         sk: &SecretKey,
         x: &RnsPoly,
         target: &RnsPoly,

@@ -1,0 +1,100 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest 1.x surface the F1 test suites
+//! use: the [`proptest!`] macro (with an optional inline
+//! `#![proptest_config(..)]`), the [`strategy::Strategy`] trait with
+//! `prop_map`, integer-range and [`collection::vec`] strategies,
+//! [`test_runner::ProptestConfig`], and the `prop_assert*` macros.
+//!
+//! Semantics: each property runs `cases` times against values drawn from a
+//! deterministic generator seeded per-test. There is **no shrinking** — a
+//! failing case panics with the standard `assert!` message. That is a
+//! weaker debugging experience than real proptest but identical
+//! pass/fail power for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-importable prelude, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the common proptest form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Seed per test name so properties draw distinct streams
+                // but rerun identically from one invocation to the next.
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default())
+            $($(#[$meta])+ fn $name($($arg in $strat),*) $body)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

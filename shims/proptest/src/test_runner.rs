@@ -1,0 +1,51 @@
+//! Test-runner configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; we keep a smaller default so the
+        // shim stays cheap when a suite forgets to configure itself.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from the property name: distinct streams per
+    /// test, identical streams across runs.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xF1F1_F1F1_F1F1_F1F1u64;
+        for b in name.bytes() {
+            seed = seed.rotate_left(7) ^ b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,78 @@
+//! Distributions: the [`Distribution`] trait, [`Standard`], and uniform
+//! range sampling.
+
+use crate::Rng;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" full-range distribution for primitive types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {
+        $(impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, as used by [`Rng::gen_range`].
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Ranges that [`crate::Rng::gen_range`] accepts.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! range_impl {
+        ($($t:ty),*) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = rng.next_u64() as u128 % span;
+                        (self.start as i128 + v as i128) as $t
+                    }
+                }
+
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = rng.next_u64() as u128 % span;
+                        (lo as i128 + v as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim vendors the small slice of the rand 0.8 API the F1 crates
+//! actually use: [`RngCore`], the [`Rng`] extension trait (`gen`,
+//! `gen_range`, `gen_bool`, `sample`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], [`thread_rng`], and
+//! [`distributions::Distribution`]/[`distributions::Standard`].
+//!
+//! The generator is SplitMix64 — deterministic, fast, and statistically
+//! fine for test vectors and randomized property checks; it is *not*
+//! cryptographically secure (neither is a seeded `StdRng` used for
+//! reproducible tests). If/when the real crate becomes available, deleting
+//! the `shims/` path entries from the workspace manifests is the only
+//! change required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Core trait every random-number generator implements.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Extension trait with the user-facing sampling methods.
+///
+/// Blanket-implemented for every [`RngCore`], mirroring rand 0.8.
+pub trait Rng: RngCore {
+    /// Samples a value whose type has a [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Returns a lazily-seeded generator for quick, non-reproducible use.
+///
+/// Unlike the real crate this is not thread-local state; each call returns
+/// a fresh generator seeded from the system clock.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}

@@ -1,0 +1,52 @@
+//! Concrete generators: [`StdRng`] and [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step: the shared engine behind both generators.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The standard deterministic generator (SplitMix64 under the hood).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
+
+/// A fresh clock-seeded generator returned by [`crate::thread_rng`].
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0xDEAD_BEEF);
+        ThreadRng { inner: StdRng::seed_from_u64(nanos) }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! The F1 crates use serde only as `#[derive(Serialize, Deserialize)]`
+//! annotations on config/report types; nothing in the tree serializes at
+//! runtime. This shim re-exports no-op derives so the annotations compile
+//! unchanged, keeping the door open for the real crate later.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

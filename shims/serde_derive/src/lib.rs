@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The F1 crates annotate types with `#[derive(Serialize, Deserialize)]`
+//! but never call a serializer at runtime (no `serde_json` etc. in the
+//! tree), so these derives expand to nothing. Swapping in the real serde
+//! is purely a manifest change.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
