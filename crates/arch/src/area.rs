@@ -81,8 +81,16 @@ impl AreaBreakdown {
         let rows = vec![
             AreaRow { component: "NTT FU".into(), area_mm2: ntt_a, tdp_w: ntt_p },
             AreaRow { component: "Automorphism FU".into(), area_mm2: aut_a, tdp_w: aut_p },
-            AreaRow { component: "Multiply FU".into(), area_mm2: mul_a / cfg.muls_per_cluster.max(1) as f64, tdp_w: mul_p / cfg.muls_per_cluster.max(1) as f64 },
-            AreaRow { component: "Add FU".into(), area_mm2: add_a / cfg.adds_per_cluster.max(1) as f64, tdp_w: add_p / cfg.adds_per_cluster.max(1) as f64 },
+            AreaRow {
+                component: "Multiply FU".into(),
+                area_mm2: mul_a / cfg.muls_per_cluster.max(1) as f64,
+                tdp_w: mul_p / cfg.muls_per_cluster.max(1) as f64,
+            },
+            AreaRow {
+                component: "Add FU".into(),
+                area_mm2: add_a / cfg.adds_per_cluster.max(1) as f64,
+                tdp_w: add_p / cfg.adds_per_cluster.max(1) as f64,
+            },
             AreaRow { component: "Vector RegFile (512 KB)".into(), area_mm2: rf_a, tdp_w: rf_p },
             AreaRow { component: "Compute cluster".into(), area_mm2: cluster_a, tdp_w: cluster_p },
             AreaRow {
@@ -99,19 +107,23 @@ impl AreaBreakdown {
                 area_mm2: pad_a,
                 tdp_w: pad_p,
             },
-            AreaRow { component: "3xNoC (bit-sliced crossbars)".into(), area_mm2: noc_a, tdp_w: noc_p },
+            AreaRow {
+                component: "3xNoC (bit-sliced crossbars)".into(),
+                area_mm2: noc_a,
+                tdp_w: noc_p,
+            },
             AreaRow {
                 component: format!("Memory interface ({}xHBM2 PHYs)", cfg.hbm_phys),
                 area_mm2: mem_if_a,
                 tdp_w: mem_if_p,
             },
-            AreaRow { component: "Total memory system".into(), area_mm2: memsys_a, tdp_w: memsys_p },
+            AreaRow {
+                component: "Total memory system".into(),
+                area_mm2: memsys_a,
+                tdp_w: memsys_p,
+            },
         ];
-        Self {
-            rows,
-            total_area_mm2: compute_a + memsys_a,
-            total_tdp_w: compute_p + memsys_p,
-        }
+        Self { rows, total_area_mm2: compute_a + memsys_a, total_tdp_w: compute_p + memsys_p }
     }
 
     /// The paper's published totals for the default configuration.

@@ -34,6 +34,16 @@ pub struct ArchConfig {
     pub hbm_phys: usize,
     /// Bandwidth per PHY in GB/s.
     pub hbm_gbps_per_phy: u64,
+    /// Independent HBM channels across all PHYs (8 per HBM2 stack). The
+    /// cycle-level scheduler issues loads on all channels concurrently
+    /// with compute, each at `hbm_bytes_per_cycle / hbm_channels`,
+    /// instead of serializing transfers on one aggregate counter.
+    pub hbm_channels: usize,
+    /// Parallel 512-byte port lanes per (source, destination) pair on
+    /// the on-chip crossbars (§6: three 16×16 crossbars). A transfer
+    /// occupies one lane for `net_cycles(bytes)` cycles; contention is
+    /// explicit instead of a flat per-hop constant.
+    pub xbar_ports: usize,
     /// Compute clock in GHz (memories run at 2×, §6).
     pub freq_ghz: f64,
     /// Worst-case HBM access latency in compute cycles (§3: static
@@ -63,6 +73,8 @@ impl ArchConfig {
             bank_bytes: 4 * 1024 * 1024,
             hbm_phys: 2,
             hbm_gbps_per_phy: 512,
+            hbm_channels: 16,
+            xbar_ports: 1,
             freq_ghz: 1.0,
             hbm_latency_cycles: 250,
             low_throughput_ntt: false,
@@ -76,10 +88,12 @@ impl ArchConfig {
     pub fn scaled(factor: f64) -> Self {
         let base = Self::f1_default();
         let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        let phys = ((base.hbm_phys as f64 * factor).round() as usize).clamp(1, 4);
         Self {
             clusters: scale(base.clusters),
             scratchpad_banks: scale(base.scratchpad_banks),
-            hbm_phys: ((base.hbm_phys as f64 * factor).round() as usize).clamp(1, 4),
+            hbm_phys: phys,
+            hbm_channels: 8 * phys,
             ..base
         }
     }
@@ -174,6 +188,14 @@ impl ArchConfig {
         (bytes as f64 / self.hbm_bytes_per_cycle()).ceil() as u64
     }
 
+    /// Cycles one HBM channel needs to move `bytes`: channels split the
+    /// aggregate bandwidth evenly, so a single transfer streams slower
+    /// but `hbm_channels` transfers proceed concurrently.
+    pub fn mem_channel_cycles(&self, bytes: u64) -> u64 {
+        let per_channel = self.hbm_bytes_per_cycle() / self.hbm_channels.max(1) as f64;
+        (bytes as f64 / per_channel).ceil() as u64
+    }
+
     /// Peak modular-arithmetic throughput in tera-ops/second: every lane
     /// of every multiplier/adder FU plus the NTT unit's internal
     /// butterflies (896 multipliers and as many adders, §5.2) can retire
@@ -255,9 +277,21 @@ mod tests {
         assert_eq!(half.clusters, 8);
         assert_eq!(half.scratchpad_banks, 8);
         assert_eq!(half.hbm_phys, 1);
+        assert_eq!(half.hbm_channels, 8, "8 channels per HBM2 stack");
         let double = ArchConfig::scaled(2.0);
         assert_eq!(double.clusters, 32);
         assert_eq!(double.hbm_phys, 4, "PHY count clamps at 4");
+        assert_eq!(double.hbm_channels, 32);
+    }
+
+    #[test]
+    fn channel_bandwidth_partitions_aggregate() {
+        let c = ArchConfig::f1_default();
+        // 16 channels split 1 KB/cycle: a 64 KB residue vector takes 1024
+        // cycles on one channel, but 16 vectors stream concurrently at
+        // the same aggregate rate as `mem_cycles`.
+        assert_eq!(c.mem_channel_cycles(65536), 1024);
+        assert_eq!(c.mem_channel_cycles(65536), c.mem_cycles(65536) * c.hbm_channels as u64);
     }
 
     #[test]

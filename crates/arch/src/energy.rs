@@ -46,6 +46,15 @@ pub struct EnergyCounters {
     pub rf_bytes: u64,
     /// Busy cycles per FU class, summed over all instances.
     pub fu_busy_cycles: [u64; 4],
+    /// Busy cycles summed across HBM channels — the contention model's
+    /// occupancy bookkeeping (each transfer holds one channel for
+    /// `mem_channel_cycles(bytes)`); the simulator re-derives and
+    /// cross-checks it against the memory streams.
+    pub hbm_channel_busy_cycles: u64,
+    /// Busy cycles summed across crossbar port lanes (each on-chip
+    /// transfer holds one lane for `net_cycles(bytes)`); cross-checked
+    /// against the network stream the same way.
+    pub xbar_busy_cycles: u64,
 }
 
 impl EnergyCounters {
@@ -129,8 +138,8 @@ mod tests {
         // ballpark of HBM2 at full tilt.
         let model = EnergyModel::default();
         let cfg = ArchConfig::f1_default();
-        let mut c = EnergyCounters::default();
-        c.hbm_bytes = 1024 * 1_000_000; // 1 KB/cycle for 1M cycles
+        // 1 KB/cycle for 1M cycles.
+        let c = EnergyCounters { hbm_bytes: 1024 * 1_000_000, ..Default::default() };
         let p = model.power_breakdown(&c, 1_000_000, &cfg);
         assert!((25.0..40.0).contains(&p.hbm_w), "hbm power {}", p.hbm_w);
     }
@@ -150,11 +159,13 @@ mod tests {
     fn breakdown_totals_and_fraction() {
         let model = EnergyModel::default();
         let cfg = ArchConfig::f1_default();
-        let mut c = EnergyCounters::default();
-        c.hbm_bytes = 500_000_000;
-        c.scratchpad_bytes = 2_000_000_000;
-        c.noc_bytes = 1_500_000_000;
-        c.rf_bytes = 3_000_000_000;
+        let mut c = EnergyCounters {
+            hbm_bytes: 500_000_000,
+            scratchpad_bytes: 2_000_000_000,
+            noc_bytes: 1_500_000_000,
+            rf_bytes: 3_000_000_000,
+            ..Default::default()
+        };
         c.add_fu_busy(FuType::Mul, 10_000_000);
         let p = model.power_breakdown(&c, 1_000_000, &cfg);
         let sum = p.hbm_w + p.scratchpad_w + p.noc_w + p.rf_w + p.fus_w;

@@ -10,16 +10,32 @@ fn bench_modmul(c: &mut Criterion) {
     let xs: Vec<(u32, u32)> = (0..1024).map(|i| (i * 1_000_003 % q, i * 7_777_777 % q)).collect();
     let mut g = c.benchmark_group("modmul_1024ops");
     g.bench_function("barrett", |b| {
-        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::barrett(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |v| v.iter().map(|&(x, y)| mul::barrett(&m, x, y)).fold(0u32, u32::wrapping_add),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("montgomery", |b| {
-        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::montgomery(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |v| v.iter().map(|&(x, y)| mul::montgomery(&m, x, y)).fold(0u32, u32::wrapping_add),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("ntt_friendly", |b| {
-        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::ntt_friendly(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |v| v.iter().map(|&(x, y)| mul::ntt_friendly(&m, x, y)).fold(0u32, u32::wrapping_add),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("fhe_friendly", |b| {
-        b.iter_batched(|| xs.clone(), |v| v.iter().map(|&(x, y)| mul::fhe_friendly(&m, x, y)).fold(0u32, u32::wrapping_add), BatchSize::SmallInput)
+        b.iter_batched(
+            || xs.clone(),
+            |v| v.iter().map(|&(x, y)| mul::fhe_friendly(&m, x, y)).fold(0u32, u32::wrapping_add),
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }

@@ -1,12 +1,16 @@
 //! Fig 10: functional unit and HBM utilization over time for the
 //! LoLa-MNIST unencrypted-weights benchmark. Emits a CSV series.
+//!
+//! Runs the full-size instance by default (`F1_SCALE=1`): the paper's
+//! utilization shape — a memory-bound ramp while hints stream in, then
+//! compute-intensive phases — needs the full working set.
 
 use f1_arch::ArchConfig;
-use f1_bench::{bench_scale, run_benchmark};
+use f1_bench::{bench_scale_or, run_benchmark};
 use f1_workloads::benchmarks::lola_mnist_uw;
 
 fn main() {
-    let scale = bench_scale();
+    let scale = bench_scale_or(1);
     let arch = ArchConfig::f1_default();
     let b = lola_mnist_uw(scale);
     let r = run_benchmark(&b, &arch);
@@ -16,10 +20,21 @@ fn main() {
     for i in 0..t.hbm_util.len() {
         println!(
             "{},{:.2},{:.2},{:.2},{:.2},{:.1}",
-            i, t.fu_active[0][i], t.fu_active[1][i], t.fu_active[2][i], t.fu_active[3][i], t.hbm_util[i]
+            i,
+            t.fu_active[0][i],
+            t.fu_active[1][i],
+            t.fu_active[2][i],
+            t.fu_active[3][i],
+            t.hbm_util[i]
         );
     }
-    eprintln!("\nMakespan: {} cycles ({:.3} ms); avg FU utilization {:.0}% (paper reports ~30%)",
-        r.makespan, r.seconds * 1e3, r.avg_fu_utilization * 100.0);
-    eprintln!("Paper shape: memory-bound start (high HBM, few FUs), then compute-intensive phases.");
+    eprintln!(
+        "\nMakespan: {} cycles ({:.3} ms); avg FU utilization {:.0}% (paper reports ~30%)",
+        r.makespan,
+        r.seconds * 1e3,
+        r.avg_fu_utilization * 100.0
+    );
+    eprintln!(
+        "Paper shape: memory-bound start (high HBM, few FUs), then compute-intensive phases."
+    );
 }

@@ -1,7 +1,7 @@
 //! Fig 11: performance vs area across F1 configurations (design-space
 //! sweep of clusters / scratchpad banks / HBM PHYs).
 
-use f1_arch::{AreaBreakdown, ArchConfig};
+use f1_arch::{ArchConfig, AreaBreakdown};
 use f1_bench::{bench_scale, gmean};
 use f1_workloads::all_benchmarks;
 

@@ -8,7 +8,9 @@ use f1_workloads::all_benchmarks;
 fn main() {
     let scale = bench_scale();
     let arch = ArchConfig::f1_default();
-    println!("Fig 9a: Off-chip data movement breakdown (fractions of total bytes; scale 1/{scale})\n");
+    println!(
+        "Fig 9a: Off-chip data movement breakdown (fractions of total bytes; scale 1/{scale})\n"
+    );
     println!(
         "{:<30} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "Benchmark", "KSH-C", "In-C", "KSH-NC", "In-NC", "Int-Ld", "Int-St", "Total[MB]"
@@ -32,7 +34,9 @@ fn main() {
         reports.push((b.name, r));
     }
     println!("\nPaper shape: hints dominate deep workloads (LogReg, DB Lookup, bootstrapping, up to 94%);");
-    println!("non-compulsory traffic adds only 5-18% except LoLa-CIFAR (intermediates dominate).\n");
+    println!(
+        "non-compulsory traffic adds only 5-18% except LoLa-CIFAR (intermediates dominate).\n"
+    );
 
     println!("Fig 9b: Average power breakdown [W]\n");
     println!(
@@ -43,9 +47,17 @@ fn main() {
         let p = &r.power;
         println!(
             "{:<30} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>7.0}%",
-            name, p.hbm_w, p.scratchpad_w, p.noc_w, p.rf_w, p.fus_w, p.total_w(),
+            name,
+            p.hbm_w,
+            p.scratchpad_w,
+            p.noc_w,
+            p.rf_w,
+            p.fus_w,
+            p.total_w(),
             p.data_movement_fraction() * 100.0
         );
     }
-    println!("\nPaper shape: 59-96 W averages; computation is 20-30% of power, data movement dominates.");
+    println!(
+        "\nPaper shape: 59-96 W averages; computation is 20-30% of power, data movement dominates."
+    );
 }

@@ -5,26 +5,46 @@ use f1_modarith::{primes, MultiplierKind};
 
 fn main() {
     println!("Table 1: Area, power, and delay of modular multipliers");
-    println!("(structural model calibrated to the paper's 14/12nm synthesis; see DESIGN.md §2.1)\n");
-    println!("{:<22} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}", "Multiplier", "Area[um2]", "Power[mW]", "Delay[ps]", "paperA", "paperP", "paperD");
+    println!(
+        "(structural model calibrated to the paper's 14/12nm synthesis; see DESIGN.md §2.1)\n"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "Multiplier", "Area[um2]", "Power[mW]", "Delay[ps]", "paperA", "paperP", "paperD"
+    );
     for kind in MultiplierKind::ALL {
         let m = kind.cost();
         let p = kind.paper_cost();
         println!(
             "{:<22} {:>10.0} {:>10.2} {:>10.0} | {:>10.0} {:>10.2} {:>10.0}",
-            kind.label(), m.area_um2, m.power_mw, m.delay_ps, p.area_um2, p.power_mw, p.delay_ps
+            kind.label(),
+            m.area_um2,
+            m.power_mw,
+            m.delay_ps,
+            p.area_um2,
+            p.power_mw,
+            p.delay_ps
         );
     }
-    println!("\nFHE-friendly vs NTT-friendly area saving: {:.1}% (paper: 19%)",
-        (1.0 - MultiplierKind::FheFriendly.cost().area_um2 / MultiplierKind::NttFriendly.cost().area_um2) * 100.0);
-    println!("FHE-friendly vs NTT-friendly power saving: {:.1}% (paper: 30%)",
-        (1.0 - MultiplierKind::FheFriendly.cost().power_mw / MultiplierKind::NttFriendly.cost().power_mw) * 100.0);
+    println!(
+        "\nFHE-friendly vs NTT-friendly area saving: {:.1}% (paper: 19%)",
+        (1.0 - MultiplierKind::FheFriendly.cost().area_um2
+            / MultiplierKind::NttFriendly.cost().area_um2)
+            * 100.0
+    );
+    println!(
+        "FHE-friendly vs NTT-friendly power saving: {:.1}% (paper: 30%)",
+        (1.0 - MultiplierKind::FheFriendly.cost().power_mw
+            / MultiplierKind::NttFriendly.cost().power_mw)
+            * 100.0
+    );
 
-    // §5.3: "our approach allows for 6,186 prime moduli". Our mirrored
-    // congruence class (DESIGN.md §2.7) gives the same Dirichlet density.
-    let ours = primes::prime_census_mod_2_16(1);
-    let paper_class = primes::prime_census_mod_2_16(0xFFFF);
+    // §5.3: the paper's FHE-friendly class is q ≡ -1 (mod 2^16); its
+    // census is 6,148. (The paper's text says "6,186", which is the
+    // mirrored +1 class's count.)
+    let paper_class = primes::paper_prime_census();
+    let mirrored = primes::prime_census_mod_2_16(1);
     println!("\nPrime census (32-bit primes per residue class mod 2^16):");
-    println!("  q ≡ +1 (ours, NTT-friendly for all N <= 2^15): {ours}");
-    println!("  q ≡ -1 (paper's class):                        {paper_class} (paper reports 6,186)");
+    println!("  q ≡ -1 (paper's class, §5.3):                     {paper_class}");
+    println!("  q ≡ +1 (mirrored, NTT-friendly for all N <= 2^15): {mirrored} (the paper's printed 6,186)");
 }

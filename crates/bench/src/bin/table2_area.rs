@@ -12,7 +12,9 @@ fn main() {
     }
     println!("{:<42} {:>12.1} {:>10.1}", "Total F1", b.total_area_mm2, b.total_tdp_w);
     println!("\nPeak modular arithmetic: {:.1} tera-ops/s (paper: 36)", cfg.peak_tops());
-    println!("On-chip storage: {} MB; HBM bandwidth: {} GB/s",
+    println!(
+        "On-chip storage: {} MB; HBM bandwidth: {} GB/s",
         cfg.scratchpad_bytes() / (1024 * 1024),
-        cfg.hbm_phys as u64 * cfg.hbm_gbps_per_phy);
+        cfg.hbm_phys as u64 * cfg.hbm_gbps_per_phy
+    );
 }

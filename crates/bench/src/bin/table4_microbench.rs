@@ -23,7 +23,10 @@ fn main() {
     let arch = ArchConfig::f1_default();
     println!("Table 4: Microbenchmarks — F1 reciprocal throughput (ns/ciphertext op)");
     println!("and speedups vs CPU (measured f1-fhe) and HEAX_sigma (model)\n");
-    println!("{:<26} {:>8} {:>6} {:>12} {:>12} {:>12}", "Operation", "N", "L", "F1 [ns]", "vs CPU", "vs HEAX_s");
+    println!(
+        "{:<26} {:>8} {:>6} {:>12} {:>12} {:>12}",
+        "Operation", "N", "L", "F1 [ns]", "vs CPU", "vs HEAX_s"
+    );
     for (n, _logq, l) in table4_parameter_sets() {
         let base = CpuBaseline::measure(&measurement_program(l), 256);
         for op in MicroOp::ALL {
@@ -33,10 +36,17 @@ fn main() {
             let cpu = base.estimate_seconds(&p, n);
             println!(
                 "{:<26} {:>8} {:>6} {:>12.1} {:>11.0}x {:>11.0}x",
-                op.label(), n, l, f1 * 1e9, cpu / f1, hx / f1
+                op.label(),
+                n,
+                l,
+                f1 * 1e9,
+                cpu / f1,
+                hx / f1
             );
         }
     }
     println!("\nPaper shape: NTT/automorphism speedups vs HEAX in the hundreds-to-thousands,");
-    println!("hom-mul/perm vs HEAX in the low hundreds; all CPU speedups exceed full-program ones.");
+    println!(
+        "hom-mul/perm vs HEAX in the low hundreds; all CPU speedups exceed full-program ones."
+    );
 }

@@ -48,7 +48,10 @@ fn main() {
     }
     println!(
         "{:<30} {:>8.1}x {:>8.1}x {:>8.1}x",
-        "gmean slowdown", gmean(&lt_ntt_all), gmean(&lt_aut_all), gmean(&csr_all)
+        "gmean slowdown",
+        gmean(&lt_ntt_all),
+        gmean(&lt_aut_all),
+        gmean(&csr_all)
     );
     println!("\n* CSR is intractable for this benchmark (paper Table 5 footnote).");
     println!("Paper gmean slowdowns: LT NTT 2.5x, LT Aut 3.6x, CSR 4.2x.");

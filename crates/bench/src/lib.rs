@@ -20,7 +20,13 @@ use f1_workloads::Benchmark;
 
 /// Reads the benchmark reduction scale from `F1_SCALE` (default 8).
 pub fn bench_scale() -> usize {
-    std::env::var("F1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+    bench_scale_or(8)
+}
+
+/// Reads `F1_SCALE` with an explicit default — figures whose paper shape
+/// only emerges at full size (e.g. Fig 10) default to 1 instead of 8.
+pub fn bench_scale_or(default: usize) -> usize {
+    std::env::var("F1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Compiles and simulates one benchmark on a configuration.

@@ -1,23 +1,51 @@
-//! Pass 3 — the cycle-level scheduler (§4.4).
+//! Pass 3 — the cycle-level scheduler (§4.4), as a resource-explicit
+//! list scheduler.
 //!
 //! Takes the data-movement plan and assigns every instruction to a
-//! cluster and functional unit at an exact cycle, modeling FU occupancy
-//! and latency, operand transfers over the crossbars, register files and
-//! off-chip bandwidth. It never adds loads or stores (it is fully
-//! constrained by pass 2's off-chip schedule) but moves loads to their
-//! earliest possible issue cycle to avoid stalls. Resource hazards are
-//! resolved by delaying. Because the schedule is fully static, this pass
-//! doubles as the performance model.
+//! cluster and functional unit at an exact cycle. Every contended
+//! resource is modeled explicitly with its own occupancy timeline:
+//!
+//! * **HBM channels** — `arch.hbm_channels` independent streams, each at
+//!   the per-channel bandwidth. Loads issue earliest-need-first (pass 2's
+//!   per-value need cycles) and run *concurrently with compute*, each
+//!   value becoming available at its own completion cycle instead of the
+//!   whole prologue serializing on one aggregate bandwidth counter.
+//! * **Functional units** — per (cluster, class, instance) interval
+//!   timelines with first-fit gap insertion, so a late-ready instruction
+//!   never blocks an idle window.
+//! * **Crossbar ports** — per (source, destination) lane occupancy
+//!   (`net_busy`), `arch.xbar_ports` lanes per pair, instead of a flat
+//!   per-hop constant. Consumers prefer their operands' home cluster.
+//!
+//! Ready instructions are ranked by critical-path depth on the DFG
+//! (longest streaming path to a sink, [`f1_isa::dfg::Dfg::critical_depths`]),
+//! not by pass-2 order.
+//!
+//! Timing uses F1's rate-matched streaming semantics: every standard unit
+//! and 512-byte port produces and consumes at `lanes` elements per cycle,
+//! so a dependent instruction can issue `latency` cycles after its
+//! producer (Cray-style chaining), reading elements exactly as they are
+//! produced. `done_cycle` records that availability cycle; the full
+//! vector has drained `occupancy` cycles later, which is what `makespan`
+//! accounts. Slow producers (the low-throughput ablation units) add a
+//! catch-up term so a standard-rate consumer never outruns them. Because
+//! the schedule is fully static, this pass doubles as the performance
+//! model.
 
 use crate::expand::Expanded;
-use crate::movement::MovePlan;
+use crate::movement::{MovePlan, PlannedXfer};
 use f1_arch::energy::EnergyCounters;
 use f1_arch::ArchConfig;
-use f1_isa::dfg::ValueId;
+use f1_isa::dfg::{InstrId, ValueId};
 use f1_isa::streams::{ComputeEntry, MemDir, MemEntry, NetEntry, StaticSchedule};
 use f1_isa::{ComponentId, FuType};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cycles a value spends crossing one bit-sliced crossbar switch. The
+/// transfer then streams behind the wavefront at the port rate, holding
+/// its lane for `net_cycles(bytes)`.
+pub const XBAR_HOP_CYCLES: u64 = 1;
 
 /// The cycle-level schedule plus accounting the simulator verifies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,9 +54,13 @@ pub struct CycleSchedule {
     pub schedule: StaticSchedule,
     /// Exact issue cycle per DFG instruction (indexed by instruction id).
     pub issue_cycle: Vec<u64>,
-    /// Exact completion cycle per DFG instruction.
+    /// Cycle each instruction's result becomes available to rate-matched
+    /// consumers: `issue + latency`, plus the catch-up correction when
+    /// the producer streams slower than the standard rate. The full
+    /// vector has drained `occupancy` cycles later (accounted in
+    /// `makespan`).
     pub done_cycle: Vec<u64>,
-    /// Total makespan in compute cycles.
+    /// Total makespan in compute cycles (last drained result or store).
     pub makespan: u64,
     /// Energy/traffic counters accumulated while scheduling (the
     /// simulator re-derives and cross-checks them).
@@ -42,128 +74,312 @@ impl CycleSchedule {
     }
 }
 
+/// Streaming availability weight of one instruction: how long after its
+/// issue cycle a rate-matched consumer may issue. `latency` for standard
+/// units; slow units add the cycles by which they trail the standard
+/// streaming rate so consumers never read elements that do not exist yet.
+pub fn stream_weight(arch: &ArchConfig, fu: FuType, n: usize) -> u64 {
+    let base = (n / arch.lanes).max(1) as u64;
+    let occ = arch.occupancy(fu, n);
+    arch.latency(fu, n) + occ.saturating_sub(base)
+}
+
+/// Sorted, disjoint busy intervals for one exclusive resource (FU
+/// instance, crossbar lane, HBM channel) with first-fit gap insertion.
+#[derive(Debug, Default, Clone)]
+struct Occupancy {
+    busy: Vec<(u64, u64)>,
+}
+
+impl Occupancy {
+    /// Earliest `start >= ready` such that `[start, start + len)` is free.
+    fn probe(&self, ready: u64, len: u64) -> u64 {
+        let mut t = ready;
+        let i = self.busy.partition_point(|&(_, end)| end <= t);
+        for &(s, e) in &self.busy[i..] {
+            if t + len <= s {
+                break;
+            }
+            t = t.max(e);
+        }
+        t
+    }
+
+    /// Reserves `[start, start + len)`; the caller must have probed.
+    fn commit(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let pos = self.busy.partition_point(|&(s, _)| s < start);
+        debug_assert!(pos == 0 || self.busy[pos - 1].1 <= start, "overlapping commit");
+        debug_assert!(pos == self.busy.len() || start + len <= self.busy[pos].0);
+        self.busy.insert(pos, (start, start + len));
+    }
+}
+
 /// Schedules the plan onto the machine.
 pub fn schedule(expanded: &Expanded, plan: &MovePlan, arch: &ArchConfig) -> CycleSchedule {
     let dfg = &expanded.dfg;
-    let n_instr = dfg.instrs().len();
     let n = dfg.n;
+    let n_instr = dfg.instrs().len();
     let mut out = StaticSchedule::new(arch.clusters);
     let mut counters = EnergyCounters::default();
 
-    // --- Off-chip transfers: sequential over aggregate bandwidth, loads
-    // hoisted as early as possible (their plan order already reflects
-    // priority; pass 3 just packs them back-to-back).
+    // Rank = streaming critical-path depth (matches the availability
+    // semantics the schedule is checked under).
+    let depth = dfg.critical_depths(&|i| stream_weight(arch, i.op.fu_type(), n));
+
+    // --- Off-chip loads: independent channels, earliest-need-first,
+    // concurrent with compute. Only producer-less values (inputs, hints)
+    // can load eagerly; spilled-intermediate refetches wait below.
+    let mut channels: Vec<Occupancy> = vec![Occupancy::default(); arch.hbm_channels.max(1)];
     let mut avail: HashMap<ValueId, u64> = HashMap::new();
     let mut home: HashMap<ValueId, ComponentId> = HashMap::new();
-    let mut mem_free = 0u64;
-    let mut store_pending: Vec<(ValueId, u64)> = Vec::new();
+    let mut deferred: Vec<&PlannedXfer> = Vec::new();
+    let mut loads: Vec<&PlannedXfer> = Vec::new();
     for x in &plan.xfers {
-        match x.dir {
-            MemDir::Load => {
-                let start = mem_free;
-                mem_free = start + arch.mem_cycles(x.bytes);
-                let bank = (x.value.0 as usize) % arch.scratchpad_banks;
-                out.mem.push(MemEntry {
-                    cycle: start,
-                    dir: MemDir::Load,
-                    value: x.value,
-                    bytes: x.bytes,
-                    bank,
-                });
-                counters.hbm_bytes += x.bytes;
-                counters.scratchpad_bytes += x.bytes;
-                let done = mem_free + arch.hbm_latency_cycles;
-                // Reloads overwrite the availability time.
-                avail.insert(x.value, done);
-                home.insert(x.value, ComponentId::Bank(bank));
-            }
-            MemDir::Store => {
-                // Stores wait until the value exists; defer resolution.
-                store_pending.push((x.value, x.bytes));
-            }
+        if x.dir == MemDir::Load && dfg.producer(x.value).is_none() {
+            loads.push(x);
+        } else {
+            deferred.push(x);
         }
     }
+    // First loads are keyed by their value's earliest need; capacity
+    // reloads of the same value (pass 2 eviction artifacts) replay
+    // traffic for data pass 3 keeps resident, so they pack strictly
+    // behind every first load and never delay a compulsory fetch.
+    let mut seen = std::collections::HashSet::new();
+    let mut keyed: Vec<(u64, &PlannedXfer)> = loads
+        .into_iter()
+        .map(|x| {
+            let key = if seen.insert(x.value) {
+                plan.earliest_need.get(&x.value).copied().unwrap_or(u64::MAX - 1)
+            } else {
+                u64::MAX
+            };
+            (key, x)
+        })
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    for (_, x) in keyed {
+        let dur = arch.mem_channel_cycles(x.bytes);
+        let (ci, start) = channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.probe(0, dur)))
+            .min_by_key(|&(i, s)| (s, i))
+            .unwrap();
+        channels[ci].commit(start, dur);
+        let done = start + dur + arch.hbm_latency_cycles;
+        let bank = (x.value.0 as usize) % arch.scratchpad_banks;
+        out.mem.push(MemEntry {
+            cycle: start,
+            dir: MemDir::Load,
+            value: x.value,
+            bytes: x.bytes,
+            bank,
+            channel: ci,
+        });
+        counters.hbm_bytes += x.bytes;
+        counters.scratchpad_bytes += x.bytes;
+        counters.hbm_channel_busy_cycles += dur;
+        // First arrival wins: a capacity reload re-fetches identical bits.
+        let a = avail.entry(x.value).or_insert(done);
+        *a = (*a).min(done);
+        home.entry(x.value).or_insert(ComponentId::Bank(bank));
+    }
 
-    // --- Compute: greedy earliest-start on the least-loaded cluster.
-    let mut fu_free: Vec<HashMap<FuType, Vec<u64>>> = (0..arch.clusters)
+    // --- Compute: list scheduling from a ready-heap ranked by depth.
+    let mut fu_slots: Vec<HashMap<FuType, Vec<Occupancy>>> = (0..arch.clusters)
         .map(|_| {
             FuType::ALL
                 .iter()
-                .map(|&fu| (fu, vec![0u64; arch.fus_per_cluster(fu)]))
+                .map(|&fu| (fu, vec![Occupancy::default(); arch.fus_per_cluster(fu)]))
                 .collect()
         })
         .collect();
+    // net_busy lanes per (source component, destination cluster).
+    let mut net_busy: HashMap<(ComponentId, usize), Vec<Occupancy>> = HashMap::new();
+    // Clusters already holding a copy of a value, and since when.
+    let mut copies: HashMap<(ValueId, usize), u64> = HashMap::new();
     let mut issue_cycle = vec![0u64; n_instr];
     let mut done_cycle = vec![0u64; n_instr];
     let mut makespan = 0u64;
-    let net_latency = 8u64; // single-stage bit-sliced crossbar traversal
 
-    for &iid in &plan.order {
+    let mut indeg: Vec<usize> = dfg
+        .instrs()
+        .iter()
+        .map(|i| i.inputs.iter().filter(|v| dfg.producer(**v).is_some()).count())
+        .collect();
+    let mut heap: BinaryHeap<(u64, std::cmp::Reverse<u32>)> = BinaryHeap::new();
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            heap.push((depth[i], std::cmp::Reverse(i as u32)));
+        }
+    }
+    let mut scheduled = 0usize;
+    while let Some((_, std::cmp::Reverse(id))) = heap.pop() {
+        let iid = InstrId(id);
         let instr = dfg.instr(iid);
         let fu = instr.op.fu_type();
         let occ = arch.occupancy(fu, n);
-        let lat = arch.latency(fu, n);
-        // Operand readiness (worst over inputs) + transfer if non-local.
-        let mut best: Option<(u64, usize, usize)> = None;
+        let weight = stream_weight(arch, fu, n);
+        // Arrival cycle of one operand on one cluster (without committing).
+        let arrival = |v: ValueId, c: usize| -> (u64, bool) {
+            let t0 = avail.get(&v).copied().unwrap_or(0);
+            if home.get(&v) == Some(&ComponentId::Cluster(c)) {
+                return (t0, false);
+            }
+            if let Some(&tc) = copies.get(&(v, c)) {
+                return (tc, false);
+            }
+            let from = home
+                .get(&v)
+                .copied()
+                .unwrap_or(ComponentId::Bank((v.0 as usize) % arch.scratchpad_banks));
+            let dur = arch.net_cycles(dfg.value(v).bytes);
+            let start = net_busy
+                .get(&(from, c))
+                .map(|lanes| lanes.iter().map(|l| l.probe(t0, dur)).min().unwrap())
+                .unwrap_or(t0);
+            (start + XBAR_HOP_CYCLES, true)
+        };
+        // Pick the cluster with the earliest start; ties prefer operand
+        // affinity (fewest remote bytes), then load balance.
+        let mut best: Option<(u64, u64, usize, usize)> = None;
         for c in 0..arch.clusters {
             let mut ready = 0u64;
+            let mut remote = 0u64;
             for &v in &instr.inputs {
-                let t = avail.get(&v).copied().unwrap_or(0);
-                let local = home.get(&v) == Some(&ComponentId::Cluster(c));
-                let arr = if local { t } else { t + net_latency };
-                ready = ready.max(arr);
+                let (t, is_remote) = arrival(v, c);
+                if is_remote {
+                    remote += dfg.value(v).bytes;
+                }
+                ready = ready.max(t);
             }
-            let (slot, free_at) = fu_free[c][&fu]
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &t)| t)
-                .map(|(s, &t)| (s, t))
-                .unwrap();
-            let start = ready.max(free_at);
-            if best.map(|(b, _, _)| start < b).unwrap_or(true) {
-                best = Some((start, c, slot));
+            let start = fu_slots[c][&fu].iter().map(|s| s.probe(ready, occ)).min().unwrap();
+            let key = (start, remote, out.compute[c].len(), c);
+            if best.map(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)).unwrap_or(true) {
+                best = Some(key);
             }
         }
-        let (start, cluster, slot) = best.unwrap();
-        fu_free[cluster].get_mut(&fu).unwrap()[slot] = start + occ;
-        issue_cycle[iid.0 as usize] = start;
-        let done = start + occ + lat;
-        done_cycle[iid.0 as usize] = done;
-        makespan = makespan.max(done);
-        avail.insert(instr.output, done);
-        home.insert(instr.output, ComponentId::Cluster(cluster));
-        counters.add_fu_busy(fu, occ);
-        // Traffic: operands stream through RF (and NoC when remote).
+        let (_, _, _, cluster) = best.unwrap();
+        // Commit operand transfers on the chosen cluster.
+        let mut ready = 0u64;
         for &v in &instr.inputs {
-            let bytes = dfg.value(v).bytes;
-            counters.rf_bytes += bytes;
-            if home.get(&v) != Some(&ComponentId::Cluster(cluster)) {
-                counters.noc_bytes += bytes;
+            let t0 = avail.get(&v).copied().unwrap_or(0);
+            let t = if home.get(&v) == Some(&ComponentId::Cluster(cluster)) {
+                t0
+            } else if let Some(&tc) = copies.get(&(v, cluster)) {
+                tc
+            } else {
+                let from = home
+                    .get(&v)
+                    .copied()
+                    .unwrap_or(ComponentId::Bank((v.0 as usize) % arch.scratchpad_banks));
+                let bytes = dfg.value(v).bytes;
+                let dur = arch.net_cycles(bytes);
+                let lanes = net_busy
+                    .entry((from, cluster))
+                    .or_insert_with(|| vec![Occupancy::default(); arch.xbar_ports.max(1)]);
+                let (li, start) = lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| (i, l.probe(t0, dur)))
+                    .min_by_key(|&(i, s)| (s, i))
+                    .unwrap();
+                lanes[li].commit(start, dur);
                 out.net.push(NetEntry {
-                    cycle: start.saturating_sub(net_latency),
+                    cycle: start,
                     value: v,
-                    from: *home.get(&v).unwrap_or(&ComponentId::Bank(0)),
+                    from,
                     to: ComponentId::Cluster(cluster),
                     bytes,
+                    port: li,
                 });
-            }
+                counters.noc_bytes += bytes;
+                counters.xbar_busy_cycles += dur;
+                let arrive = start + XBAR_HOP_CYCLES;
+                copies.insert((v, cluster), arrive);
+                arrive
+            };
+            ready = ready.max(t);
+            counters.rf_bytes += dfg.value(v).bytes;
         }
+        let (slot, start) = fu_slots[cluster]
+            .get(&fu)
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.probe(ready, occ)))
+            .min_by_key(|&(i, s)| (s, i))
+            .unwrap();
+        fu_slots[cluster].get_mut(&fu).unwrap()[slot].commit(start, occ);
+        issue_cycle[id as usize] = start;
+        let available = start + weight;
+        done_cycle[id as usize] = available;
+        makespan = makespan.max(start + occ + arch.latency(fu, n));
+        avail.insert(instr.output, available);
+        home.insert(instr.output, ComponentId::Cluster(cluster));
+        counters.add_fu_busy(fu, occ);
         counters.rf_bytes += dfg.value(instr.output).bytes;
         out.compute[cluster].push(ComputeEntry { cycle: start, instr: iid, fu, fu_index: slot });
+        for &u in dfg.users(instr.output) {
+            let ui = u.0 as usize;
+            indeg[ui] -= 1;
+            if indeg[ui] == 0 {
+                heap.push((depth[ui], std::cmp::Reverse(u.0)));
+            }
+        }
+        scheduled += 1;
+    }
+    assert_eq!(scheduled, n_instr, "DFG contains a dependence cycle");
+
+    // --- Stores and spilled-intermediate refetches: each waits for its
+    // value (and, for a refetch, the spill store that put it off-chip),
+    // then packs into channel idle gaps.
+    //
+    // Model boundary: pass 3 relaxes pass 2's capacity constraint — it
+    // keeps every produced value resident, so consumers read the
+    // producer's copy and spill/refetch pairs are replayed here purely to
+    // honor pass 2's traffic plan (ordered after production and after the
+    // spill store; the checker enforces both). A consumer is therefore
+    // never gated on a refetch. At the paper's 64 MB scratchpad no
+    // benchmark spills; ROADMAP.md tracks co-scheduling refetches with
+    // compute for capacity-constrained configurations.
+    let mut spill_end: HashMap<ValueId, u64> = HashMap::new();
+    for x in deferred {
+        let dur = arch.mem_channel_cycles(x.bytes);
+        let value_ready = avail.get(&x.value).copied().unwrap_or(0);
+        let ready = match x.dir {
+            MemDir::Store => value_ready,
+            MemDir::Load => value_ready.max(spill_end.get(&x.value).copied().unwrap_or(0)),
+        };
+        let (ci, start) = channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.probe(ready, dur)))
+            .min_by_key(|&(i, s)| (s, i))
+            .unwrap();
+        channels[ci].commit(start, dur);
+        let bank = (x.value.0 as usize) % arch.scratchpad_banks;
+        out.mem.push(MemEntry {
+            cycle: start,
+            dir: x.dir,
+            value: x.value,
+            bytes: x.bytes,
+            bank,
+            channel: ci,
+        });
+        counters.hbm_bytes += x.bytes;
+        counters.scratchpad_bytes += x.bytes;
+        counters.hbm_channel_busy_cycles += dur;
+        if x.dir == MemDir::Store {
+            spill_end.insert(x.value, start + dur);
+        }
+        makespan = makespan.max(start + dur);
     }
 
-    // --- Stores: issue once the value is complete, packed on bandwidth.
-    for (v, bytes) in store_pending {
-        let ready = avail.get(&v).copied().unwrap_or(0);
-        let start = mem_free.max(ready);
-        mem_free = start + arch.mem_cycles(bytes);
-        makespan = makespan.max(mem_free);
-        counters.hbm_bytes += bytes;
-        counters.scratchpad_bytes += bytes;
-        let bank = (v.0 as usize) % arch.scratchpad_banks;
-        out.mem.push(MemEntry { cycle: start, dir: MemDir::Store, value: v, bytes, bank });
-    }
-    makespan = makespan.max(mem_free);
     out.mem.sort_by_key(|m| m.cycle);
     for stream in out.compute.iter_mut() {
         stream.sort_by_key(|e| e.cycle);
@@ -198,8 +414,8 @@ mod tests {
             for &v in &instr.inputs {
                 if let Some(prod) = ex.dfg.producer(v) {
                     assert!(
-                        cs.done_cycle[prod.0 as usize] <= cs.issue_cycle[instr.id.0 as usize] + arch.latency(instr.op.fu_type(), ex.dfg.n),
-                        "instr {:?} starts before its operand {:?} completes",
+                        cs.done_cycle[prod.0 as usize] <= cs.issue_cycle[instr.id.0 as usize],
+                        "instr {:?} issues before its operand {:?} is available",
                         instr.id,
                         v
                     );
@@ -207,6 +423,100 @@ mod tests {
             }
         }
         assert!(cs.makespan > 0);
+    }
+
+    #[test]
+    fn no_fu_double_booking() {
+        // No two ComputeEntrys may share (cluster, fu, fu_index) with
+        // overlapping occupancy windows — checked directly here,
+        // independent of the f1-sim checker.
+        let p = Program::listing2_matvec(1 << 12, 8, 4);
+        let arch = ArchConfig::f1_default();
+        let (ex, _, cs) = compile(&p, &arch);
+        let mut by_slot: HashMap<(usize, FuType, usize), Vec<u64>> = HashMap::new();
+        for (c, stream) in cs.schedule.compute.iter().enumerate() {
+            for e in stream {
+                by_slot.entry((c, e.fu, e.fu_index)).or_default().push(e.cycle);
+            }
+        }
+        for ((c, fu, slot), mut cycles) in by_slot {
+            let occ = arch.occupancy(fu, ex.dfg.n);
+            cycles.sort_unstable();
+            for w in cycles.windows(2) {
+                assert!(
+                    w[1] >= w[0] + occ,
+                    "cluster {c} {fu:?}[{slot}] double-booked: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_regression_matvec() {
+        // The headline scheduling result: overlapped loads + critical-path
+        // list scheduling keep average FU utilization above 15% (§8.2
+        // reports ~30% across benchmarks; the greedy seed scheduler
+        // managed ~6% on private inference).
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let arch = ArchConfig::f1_default();
+        let (_, _, cs) = compile(&p, &arch);
+        let total_fus: u64 =
+            FuType::ALL.iter().map(|&f| arch.fus_per_cluster(f) as u64).sum::<u64>()
+                * arch.clusters as u64;
+        let busy: u64 = cs.counters.fu_busy_cycles.iter().sum();
+        let util = busy as f64 / (total_fus * cs.makespan) as f64;
+        assert!(util >= 0.15, "avg FU utilization {util:.3} regressed below 15%");
+    }
+
+    #[test]
+    fn loads_overlap_compute() {
+        // The tentpole property: the last load must not complete before
+        // the first instruction issues (the seed scheduler serialized the
+        // whole load prologue ahead of compute on big programs).
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let arch = ArchConfig::f1_default();
+        let (_, _, cs) = compile(&p, &arch);
+        let first_issue = cs.issue_cycle.iter().min().copied().unwrap();
+        let last_load_end = cs
+            .schedule
+            .mem
+            .iter()
+            .filter(|m| m.dir == MemDir::Load)
+            .map(|m| m.cycle + arch.mem_channel_cycles(m.bytes))
+            .max()
+            .unwrap();
+        assert!(
+            first_issue < last_load_end,
+            "compute (first issue {first_issue}) must overlap the load stream (ends {last_load_end})"
+        );
+    }
+
+    #[test]
+    fn channels_load_concurrently() {
+        let p = Program::listing2_matvec(1 << 13, 8, 4);
+        let arch = ArchConfig::f1_default();
+        let (_, _, cs) = compile(&p, &arch);
+        let used: std::collections::HashSet<usize> =
+            cs.schedule.mem.iter().map(|m| m.channel).collect();
+        assert!(used.len() > 1, "only one HBM channel ever used");
+        assert!(used.iter().all(|&c| c < arch.hbm_channels));
+    }
+
+    #[test]
+    fn occupancy_gap_insertion() {
+        let mut o = Occupancy::default();
+        assert_eq!(o.probe(0, 10), 0);
+        o.commit(0, 10);
+        assert_eq!(o.probe(0, 10), 10);
+        o.commit(20, 10);
+        // A 10-wide request fits the [10, 20) gap; an 11-wide one skips it.
+        assert_eq!(o.probe(0, 10), 10);
+        assert_eq!(o.probe(0, 11), 30);
+        assert_eq!(o.probe(12, 5), 12);
+        o.commit(10, 10);
+        assert_eq!(o.probe(0, 1), 30);
     }
 
     #[test]
@@ -250,6 +560,7 @@ mod tests {
         assert_eq!(cs.counters.hbm_bytes, plan.traffic.total());
         assert!(cs.counters.rf_bytes > 0);
         assert!(cs.counters.fu_busy_cycles.iter().sum::<u64>() > 0);
+        assert!(cs.counters.hbm_channel_busy_cycles > 0);
     }
 
     #[test]

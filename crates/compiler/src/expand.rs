@@ -14,6 +14,7 @@
 //!   instructions, dominated by the key-switch.
 
 use crate::dsl::{CtId, HomOp, Program};
+use f1_arch::ArchConfig;
 use f1_isa::dfg::{Dfg, ValueId, ValueKind, VectorOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -51,6 +52,10 @@ pub struct ExpandOptions {
     /// Disable the hint-reuse reordering (for ablations; the paper's
     /// Listing 2 discussion shows why leaving program order hurts).
     pub keep_program_order: bool,
+    /// The machine the `Auto` chooser estimates against; `None` uses the
+    /// paper's default configuration. [`crate::compile`] fills this with
+    /// the target architecture.
+    pub machine: Option<ArchConfig>,
 }
 
 impl Default for ExpandOptions {
@@ -60,6 +65,7 @@ impl Default for ExpandOptions {
             ghs_specials: 0,
             scratchpad_bytes: 64 * 1024 * 1024,
             keep_program_order: false,
+            machine: None,
         }
     }
 }
@@ -89,13 +95,104 @@ struct LoweredCt {
 }
 
 /// Expands a program into an instruction DFG.
+///
+/// Under [`KeySwitchChoice::Auto`] the pass implements §4.2's algorithmic
+/// choice with a machine model: it lowers the program with *both*
+/// key-switch variants (expansion is linear and cheap next to the
+/// scheduling passes) and keeps the one whose estimated makespan — the
+/// max of its bandwidth, FU-throughput and dependence bounds on the
+/// target machine — is lower. Decomposition has the least compute but
+/// `O(L²)` hints; GHS pays more arithmetic for `O(L)` hints, winning
+/// whenever hint traffic would leave the machine bandwidth-bound.
 pub fn expand(program: &Program, opts: &ExpandOptions) -> Expanded {
     let order = if opts.keep_program_order {
         (0..program.ops().len()).collect()
     } else {
         hint_reuse_order(program)
     };
-    let used_ghs = choose_keyswitch(program, opts);
+    match opts.keyswitch {
+        KeySwitchChoice::Decomposition => expand_with(program, opts, &order, false),
+        KeySwitchChoice::Ghs => expand_with(program, opts, &order, true),
+        KeySwitchChoice::Auto => {
+            // No key-switching ops: both variants lower identically, so
+            // skip the comparison entirely.
+            if program.ops().iter().all(|op| hint_of(op).is_none()) {
+                return expand_with(program, opts, &order, false);
+            }
+            // Fast path (and the paper's stated rule): very large L always
+            // favors GHS — skip the double expansion.
+            if max_hint_level(program) >= 20 {
+                return expand_with(program, opts, &order, true);
+            }
+            let machine = opts.machine.clone().unwrap_or_default();
+            let decomp = expand_with(program, opts, &order, false);
+            let ghs = expand_with(program, opts, &order, true);
+            if estimate_makespan(&ghs, &machine) < estimate_makespan(&decomp, &machine) {
+                ghs
+            } else {
+                decomp
+            }
+        }
+    }
+}
+
+/// Largest operating level among hint-using operations.
+fn max_hint_level(program: &Program) -> usize {
+    let mut max_level = 1usize;
+    for (i, op) in program.ops().iter().enumerate() {
+        if hint_of(op).is_some() {
+            max_level = max_level.max(program.level_of(CtId(i as u32)));
+        }
+    }
+    max_level
+}
+
+/// Estimated makespan of an expansion on `arch`: the max of its three
+/// lower bounds — per-class FU throughput, compulsory off-chip traffic
+/// over aggregate bandwidth, and the streaming critical path. The
+/// cycle-level scheduler approaches whichever binds.
+fn estimate_makespan(ex: &Expanded, arch: &ArchConfig) -> u64 {
+    let dfg = &ex.dfg;
+    let n = dfg.n;
+    // FU-throughput bound per class.
+    let mut busy: HashMap<f1_isa::FuType, u64> = HashMap::new();
+    for i in dfg.instrs() {
+        let fu = i.op.fu_type();
+        *busy.entry(fu).or_insert(0) += arch.occupancy(fu, n);
+    }
+    let fu_bound = busy
+        .iter()
+        .map(|(&fu, &b)| b / (arch.fus_per_cluster(fu) * arch.clusters).max(1) as u64)
+        .max()
+        .unwrap_or(0);
+    // Bandwidth bound: compulsory traffic (used inputs and hints loaded
+    // once, outputs stored once) — assumes the hint-reuse order keeps
+    // refetches negligible, which pass 2 delivers for fitting working sets.
+    let mut traffic: u64 = dfg
+        .values()
+        .iter()
+        .filter(|v| matches!(v.kind, ValueKind::Input | ValueKind::KeySwitchHint))
+        .filter(|v| !dfg.users(v.id).is_empty())
+        .map(|v| v.bytes)
+        .sum();
+    traffic += dfg.outputs().iter().map(|&v| dfg.value(v).bytes).sum::<u64>();
+    let mem_bound = arch.mem_cycles(traffic);
+    // Dependence bound: the streaming critical path.
+    let cp = dfg
+        .critical_depths(&|i| crate::cycle::stream_weight(arch, i.op.fu_type(), n))
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    fu_bound.max(mem_bound).max(cp)
+}
+
+/// Lowers the program with a fixed key-switch variant.
+fn expand_with(
+    program: &Program,
+    opts: &ExpandOptions,
+    order: &[usize],
+    used_ghs: bool,
+) -> Expanded {
     let mut ex = Expander {
         program,
         dfg: Dfg::new(program.n),
@@ -106,7 +203,7 @@ pub fn expand(program: &Program, opts: &ExpandOptions) -> Expanded {
         used_ghs,
         ghs_specials: opts.ghs_specials,
     };
-    for &op_idx in &order {
+    for &op_idx in order {
         ex.lower_op(op_idx);
     }
     let mut output_values = Vec::new();
@@ -126,7 +223,7 @@ pub fn expand(program: &Program, opts: &ExpandOptions) -> Expanded {
         used_ghs,
         n: program.n,
         output_values,
-        hom_order: order,
+        hom_order: order.to_vec(),
     }
 }
 
@@ -156,8 +253,9 @@ pub fn hint_reuse_order(program: &Program) -> Vec<usize> {
             p
         } else {
             // 2. Prefer the current hint; otherwise the most popular one.
-            let same =
-                ready.iter().position(|&i| hint_of(&ops[i]) == current_hint && current_hint.is_some());
+            let same = ready
+                .iter()
+                .position(|&i| hint_of(&ops[i]) == current_hint && current_hint.is_some());
             match same {
                 Some(p) => p,
                 None => {
@@ -167,8 +265,7 @@ pub fn hint_reuse_order(program: &Program) -> Vec<usize> {
                             *counts.entry(h).or_insert(0) += 1;
                         }
                     }
-                    let best =
-                        counts.into_iter().max_by_key(|&(_, c)| c).map(|(h, _)| h).unwrap();
+                    let best = counts.into_iter().max_by_key(|&(_, c)| c).map(|(h, _)| h).unwrap();
                     current_hint = Some(best);
                     ready.iter().position(|&i| hint_of(&ops[i]) == Some(best)).unwrap()
                 }
@@ -207,38 +304,6 @@ fn hint_of(op: &HomOp) -> Option<HintId> {
     }
 }
 
-/// The §4.2 algorithmic choice: the decomposition variant has `L²`-sized
-/// hints but the least compute; GHS becomes attractive at very large `L`
-/// (paper: ~20) or when hints wildly exceed on-chip capacity with little
-/// reuse.
-fn choose_keyswitch(program: &Program, opts: &ExpandOptions) -> bool {
-    match opts.keyswitch {
-        KeySwitchChoice::Decomposition => return false,
-        KeySwitchChoice::Ghs => return true,
-        KeySwitchChoice::Auto => {}
-    }
-    let ops = program.ops();
-    let mut distinct: HashMap<HintId, usize> = HashMap::new();
-    let mut max_level = 1usize;
-    for (i, op) in ops.iter().enumerate() {
-        if let Some(h) = hint_of(op) {
-            *distinct.entry(h).or_insert(0) += 1;
-            max_level = max_level.max(program.level_of(CtId(i as u32)));
-        }
-    }
-    if distinct.is_empty() {
-        return false;
-    }
-    if max_level >= 20 {
-        return true;
-    }
-    let uses: usize = distinct.values().sum();
-    let reuse = uses as f64 / distinct.len() as f64;
-    let hint_bytes: u64 =
-        distinct.len() as u64 * 2 * (max_level as u64).pow(2) * program.n as u64 * 4;
-    hint_bytes > 4 * opts.scratchpad_bytes && reuse < 3.0
-}
-
 struct Expander<'p> {
     program: &'p Program,
     dfg: Dfg,
@@ -267,14 +332,10 @@ impl<'p> Expander<'p> {
         match self.program.ops()[idx].clone() {
             HomOp::Input { level } => {
                 let a = (0..level)
-                    .map(|i| {
-                        self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.a[{i}]")))
-                    })
+                    .map(|i| self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.a[{i}]"))))
                     .collect();
                 let b = (0..level)
-                    .map(|i| {
-                        self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.b[{i}]")))
-                    })
+                    .map(|i| self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.b[{i}]"))))
                     .collect();
                 self.cts.insert(id, LoweredCt { a, b });
             }
@@ -375,10 +436,7 @@ impl<'p> Expander<'p> {
             }
         }
         let vals: Vec<ValueId> = (0..count)
-            .map(|i| {
-                self.dfg
-                    .add_value(ValueKind::KeySwitchHint, Some(format!("{hint:?}[{i}]")))
-            })
+            .map(|i| self.dfg.add_value(ValueKind::KeySwitchHint, Some(format!("{hint:?}[{i}]"))))
             .collect();
         self.hints.insert(hint, vals.clone());
         vals
@@ -411,8 +469,7 @@ impl<'p> Expander<'p> {
         for i in 0..l {
             for j in 0..l {
                 // Line 8: xqj = (i == j) ? x[i] : NTT(y[i], q_j).
-                let xqj =
-                    if i == j { x[i] } else { self.emit(VectorOp::Ntt, vec![y[i]]) };
+                let xqj = if i == j { x[i] } else { self.emit(VectorOp::Ntt, vec![y[i]]) };
                 // Lines 9-10: multiply-accumulate against both hint rows.
                 let m0 = self.emit(VectorOp::Mul, vec![xqj, ksh0(i, j)]);
                 u0[j] = Some(match u0[j] {
@@ -503,17 +560,19 @@ mod tests {
 
     #[test]
     fn hint_sizes_match_paper_example() {
-        // §2.4: at L = 16, N = 16K the key-switch hints are 32 MB.
+        // §2.4: at L = 16, N = 16K the decomposition key-switch hints are
+        // 32 MB (pinned explicitly: Auto picks GHS here precisely
+        // *because* of this footprint).
         let mut p = Program::new(1 << 14);
         let x = p.input(16);
         let y = p.input(16);
         let m = p.mul(x, y);
         p.output(m);
-        let ex = expand(&p, &ExpandOptions::default());
-        let hint_bytes: u64 = ex.hint_values[&HintId::Relin]
-            .iter()
-            .map(|&v| ex.dfg.value(v).bytes)
-            .sum();
+        let opts =
+            ExpandOptions { keyswitch: KeySwitchChoice::Decomposition, ..Default::default() };
+        let ex = expand(&p, &opts);
+        let hint_bytes: u64 =
+            ex.hint_values[&HintId::Relin].iter().map(|&v| ex.dfg.value(v).bytes).sum();
         assert_eq!(hint_bytes, 32 * 1024 * 1024);
     }
 
@@ -525,8 +584,7 @@ mod tests {
         let p = matvec();
         let order = hint_reuse_order(&p);
         let ops = p.ops();
-        let hints: Vec<HintId> =
-            order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
+        let hints: Vec<HintId> = order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
         // Count hint switches: grouped order switches once per distinct
         // hint (15 hints: 1 relin + 14 rotation amounts).
         let mut switches = 1;
@@ -558,8 +616,7 @@ mod tests {
         // With program order, rotation hints interleave: more switches
         // than distinct hints (the §4.2 motivating example).
         let ops = p.ops();
-        let hints: Vec<HintId> =
-            ex.hom_order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
+        let hints: Vec<HintId> = ex.hom_order.iter().filter_map(|&i| hint_of(&ops[i])).collect();
         let mut switches = 1;
         for w in hints.windows(2) {
             if w[0] != w[1] {
@@ -567,6 +624,29 @@ mod tests {
             }
         }
         assert!(switches > 13, "program order should thrash ({switches} switches)");
+    }
+
+    #[test]
+    fn auto_chooser_flips_to_ghs_when_bandwidth_bound() {
+        // A single relinearization at L = 16, N = 16K: decomposition moves
+        // a 32 MB hint for ~200K busy FU-cycles — bandwidth-bound on the
+        // paper machine — so the §4.2 cost model must pick GHS (O(L)
+        // hints, more compute).
+        let mut p = Program::new(1 << 14);
+        let x = p.input(16);
+        let y = p.input(16);
+        let m = p.mul(x, y);
+        p.output(m);
+        let ex = expand(&p, &ExpandOptions::default());
+        assert!(ex.used_ghs, "bandwidth-bound program must choose GHS");
+        // A shallow program whose hints are tiny stays on decomposition.
+        let mut q = Program::new(1 << 10);
+        let a = q.input(4);
+        let b = q.input(4);
+        let s = q.mul(a, b);
+        q.output(s);
+        let exq = expand(&q, &ExpandOptions::default());
+        assert!(!exq.used_ghs, "compute-cheap program must keep decomposition");
     }
 
     #[test]
@@ -593,14 +673,14 @@ mod tests {
             p.output(m);
             p
         };
-        let d = expand(&build(), &ExpandOptions {
-            keyswitch: KeySwitchChoice::Decomposition,
-            ..Default::default()
-        });
-        let g = expand(&build(), &ExpandOptions {
-            keyswitch: KeySwitchChoice::Ghs,
-            ..Default::default()
-        });
+        let d = expand(
+            &build(),
+            &ExpandOptions { keyswitch: KeySwitchChoice::Decomposition, ..Default::default() },
+        );
+        let g = expand(
+            &build(),
+            &ExpandOptions { keyswitch: KeySwitchChoice::Ghs, ..Default::default() },
+        );
         assert!(
             g.dfg.instrs().len() > d.dfg.instrs().len(),
             "GHS {} should exceed decomposition {} instructions",

@@ -12,9 +12,10 @@
 //! 3. [`movement`] — the off-chip data movement scheduler (§4.3): greedy
 //!    priority scheduling against a scratchpad model with Belady-style
 //!    furthest-reuse eviction.
-//! 4. [`cycle`] — the cycle-level scheduler (§4.4): distributes
-//!    instructions across clusters, models FU occupancy, network and
-//!    memory timing, and emits per-component static streams.
+//! 4. [`cycle`] — the cycle-level scheduler (§4.4): a resource-explicit
+//!    list scheduler that ranks instructions by critical-path depth,
+//!    overlaps HBM-channel transfers with compute, models FU and
+//!    crossbar-port occupancy, and emits per-component static streams.
 //! 5. [`csr`] — the Goodman–Hsu register-pressure-aware baseline
 //!    scheduler used by the Table 5 sensitivity study.
 //!
@@ -23,6 +24,9 @@
 //! performance measurement tool").
 
 #![forbid(unsafe_code)]
+// Index loops intentionally mirror the per-element/cluster/slot loops structure of the
+// hardware they model; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod csr;
@@ -38,11 +42,14 @@ pub use movement::MovePlan;
 
 /// Compiles a DSL program end-to-end with default options, returning the
 /// expanded DFG, the data-movement plan and the cycle-level schedule.
+/// The target architecture informs pass 1's key-switch cost model (§4.2)
+/// as well as the two scheduling passes.
 pub fn compile(
     program: &Program,
     arch: &f1_arch::ArchConfig,
 ) -> (Expanded, MovePlan, CycleSchedule) {
-    let expanded = expand::expand(program, &ExpandOptions::default());
+    let opts = ExpandOptions { machine: Some(arch.clone()), ..Default::default() };
+    let expanded = expand::expand(program, &opts);
     let plan = movement::schedule(&expanded, arch);
     let cycles = cycle::schedule(&expanded, &plan, arch);
     (expanded, plan, cycles)

@@ -74,6 +74,11 @@ pub struct MovePlan {
     pub order: Vec<InstrId>,
     /// Planned transfers in issue order.
     pub xfers: Vec<PlannedXfer>,
+    /// Approximate pass-2 compute cycle at which each value is first
+    /// consumed. Pass 3 prioritizes load issue across HBM channels by
+    /// this (earliest-need first) instead of replaying the flat transfer
+    /// order.
+    pub earliest_need: HashMap<ValueId, u64>,
     /// Traffic accounting.
     pub traffic: TrafficBreakdown,
     /// Approximate makespan of the simplified model, in cycles.
@@ -128,7 +133,11 @@ struct Scheduler<'a> {
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(expanded: &'a Expanded, arch: &'a ArchConfig, order_override: Option<Vec<InstrId>>) -> Self {
+    fn new(
+        expanded: &'a Expanded,
+        arch: &'a ArchConfig,
+        order_override: Option<Vec<InstrId>>,
+    ) -> Self {
         let dfg = &expanded.dfg;
         let n_instr = dfg.instrs().len();
         let mut rank: Vec<u64> = dfg.instrs().iter().map(|i| i.priority).collect();
@@ -165,6 +174,7 @@ impl<'a> Scheduler<'a> {
             out: MovePlan {
                 order: Vec::with_capacity(n_instr),
                 xfers: Vec::new(),
+                earliest_need: HashMap::new(),
                 traffic: TrafficBreakdown::default(),
                 approx_cycles: 0,
             },
@@ -314,12 +324,8 @@ impl<'a> Scheduler<'a> {
             }
             // Revalidate: an operand may have been evicted since.
             let instr = self.dfg.instr(i);
-            let missing: Vec<ValueId> = instr
-                .inputs
-                .iter()
-                .copied()
-                .filter(|v| !self.resident_set.contains(v))
-                .collect();
+            let missing: Vec<ValueId> =
+                instr.inputs.iter().copied().filter(|v| !self.resident_set.contains(v)).collect();
             if missing.is_empty() {
                 self.ready.pop();
                 return Some(i);
@@ -343,6 +349,12 @@ impl<'a> Scheduler<'a> {
 
     fn issue(&mut self, i: InstrId) {
         let instr = self.dfg.instr(i).clone();
+        // Record when each operand is first needed (pass-2 clock): pass 3
+        // uses this to order loads across channels.
+        let front = self.compute_front();
+        for &v in &instr.inputs {
+            self.out.earliest_need.entry(v).or_insert(front);
+        }
         // Pin operands; account compute time on the FU class.
         let occ = self.arch.occupancy(instr.op.fu_type(), self.dfg.n) as f64;
         let fus = (self.arch.fus_per_cluster(instr.op.fu_type()) * self.arch.clusters) as f64;
@@ -351,10 +363,7 @@ impl<'a> Scheduler<'a> {
         // Make room for the result (operands pinned).
         let bytes = self.dfg.value(instr.output).bytes;
         let pinned: HashSet<ValueId> = instr.inputs.iter().copied().collect();
-        assert!(
-            self.make_space_pinned(bytes, true, &pinned),
-            "cannot allocate result space"
-        );
+        assert!(self.make_space_pinned(bytes, true, &pinned), "cannot allocate result space");
         self.issued[i.0 as usize] = true;
         self.out.order.push(i);
         self.mark_resident(instr.output, bytes, true);
@@ -417,7 +426,7 @@ impl<'a> Scheduler<'a> {
             candidates.push((self.next_use_rank(v), v));
         }
         // Furthest reuse first (dead values have rank MAX).
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
         for (next_use, v) in candidates {
             if self.free_bytes >= bytes {
                 return true;
@@ -570,12 +579,8 @@ mod tests {
         let arch = ArchConfig::f1_default();
         let (ex, plan) = plan_for(&p, &arch);
         // Every input value must appear as a load in the plan.
-        let loaded: std::collections::HashSet<ValueId> = plan
-            .xfers
-            .iter()
-            .filter(|x| x.dir == MemDir::Load)
-            .map(|x| x.value)
-            .collect();
+        let loaded: std::collections::HashSet<ValueId> =
+            plan.xfers.iter().filter(|x| x.dir == MemDir::Load).map(|x| x.value).collect();
         for v in ex.dfg.values() {
             if v.kind == ValueKind::Input && !ex.dfg.users(v.id).is_empty() {
                 assert!(loaded.contains(&v.id), "input {:?} never loaded", v.id);

@@ -156,14 +156,7 @@ impl KeySet {
             DecompHint::generate(&sk, &sk.s_squared_at_level(l), l, t, params.error_eta, rng);
         let relin_ghs = if params.special_levels > 0 {
             let full = params.context().max_level();
-            Some(GhsHint::generate(
-                &sk,
-                &sk.s_squared_at_level(full),
-                l,
-                t,
-                params.error_eta,
-                rng,
-            ))
+            Some(GhsHint::generate(&sk, &sk.s_squared_at_level(full), l, t, params.error_eta, rng))
         } else {
             None
         };
@@ -226,7 +219,8 @@ impl KeySet {
         let s = self.sk.s_at_level(level);
         let te = e.mul_scalar(u32::try_from(t).expect("t fits u32")).to_ntt();
         let b = a.mul(&s).add(&te).add(&m_poly.to_ntt());
-        let noise = (t as f64).log2() + (self.params.error_eta as f64 / 2.0).sqrt().log2().max(0.0) + 1.0;
+        let noise =
+            (t as f64).log2() + (self.params.error_eta as f64 / 2.0).sqrt().log2().max(0.0) + 1.0;
         Ciphertext { a, b, noise_log2: noise, correction: 1, pt_modulus: t }
     }
 
@@ -368,9 +362,8 @@ impl Ciphertext {
         let t = self.pt_modulus;
         // ratio = F_target / F_self (mod t); scaling raw by ratio turns an
         // F_self-corrected ciphertext into an F_target-corrected one.
-        let ratio =
-            ((target.correction as u128 * inv_mod(self.correction % t, t) as u128) % t as u128)
-                as u64;
+        let ratio = ((target.correction as u128 * inv_mod(self.correction % t, t) as u128)
+            % t as u128) as u64;
         let scaled = self.scale_raw_mod_t(ratio, t);
         Self { correction: target.correction, ..scaled }
     }
@@ -548,11 +541,7 @@ pub fn mod_switch_poly(p: &RnsPoly, t: u64) -> RnsPoly {
     let top_idx = l - 1;
     let coeff = p.to_coeff();
     let top_m = *ctx.modulus(top_idx);
-    let t_inv_top = if t == 1 {
-        1
-    } else {
-        top_m.inv((t % top_m.value() as u64) as u32)
-    };
+    let t_inv_top = if t == 1 { 1 } else { top_m.inv((t % top_m.value() as u64) as u32) };
     let mut out = RnsPoly::zero_at_level(&ctx, l - 1);
     for j in 0..l - 1 {
         let mj = *ctx.modulus(j);
@@ -730,7 +719,11 @@ mod tests {
         let sq = ct.square(keys.relin_hint());
         let measured = keys.decrypt_noise(&sq);
         // Tracked estimate must not be wildly below the measurement.
-        assert!(sq.noise_log2 + 40.0 > measured, "tracked {} vs measured {measured}", sq.noise_log2);
+        assert!(
+            sq.noise_log2 + 40.0 > measured,
+            "tracked {} vs measured {measured}",
+            sq.noise_log2
+        );
         let _ = params;
     }
 }

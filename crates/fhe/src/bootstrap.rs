@@ -88,8 +88,8 @@ impl BgvBootstrapper {
         assert_eq!(base_params.plaintext_modulus, 2, "BGV bootstrapping targets t = 2");
         let n = base_params.n;
         let nu = n.trailing_zeros();
-        assert!(rho >= nu + 1, "need rho >= nu + 1 = {} (got {rho})", nu + 1);
-        assert!(rho + 1 <= 16, "rho + 1 must not exceed the FHE-friendly 2^16 class");
+        assert!(rho > nu, "need rho >= nu + 1 = {} (got {rho})", nu + 1);
+        assert!(rho < 16, "rho + 1 must not exceed the FHE-friendly 2^16 class");
         for m in base_params.context().moduli() {
             assert!(
                 m.is_fhe_friendly(),
@@ -104,11 +104,8 @@ impl BgvBootstrapper {
         }
         // Bootstrapping key: Enc_{t'}(s) under s itself (circular security,
         // as all practical bootstrapping assumes).
-        let s_coeffs: Vec<u64> = sk
-            .signed_coeffs()
-            .iter()
-            .map(|&c| c.rem_euclid(t_boot as i64) as u64)
-            .collect();
+        let s_coeffs: Vec<u64> =
+            sk.signed_coeffs().iter().map(|&c| c.rem_euclid(t_boot as i64) as u64).collect();
         let s_plain = bgv::Plaintext::from_coeffs(&boot_params, &s_coeffs);
         let boot_key_ct = boot_keys.encrypt(&s_plain, rng);
         Self { boot_params, boot_keys, boot_key_ct, rho, nu }
@@ -277,9 +274,9 @@ impl CkksBootstrapper {
         Self { params, keys_rotation, taylor_degree: 7, double_angles: r }
     }
 
-    /// Levels consumed by one bootstrap: θ scaling (three steps) + Taylor
-    /// + double angles + final correction (the trace and exact division
-    /// are level-free).
+    /// Levels consumed by one bootstrap: θ scaling (three steps) + Taylor +
+    /// double angles + final correction (the trace and exact division are
+    /// level-free).
     pub fn depth(&self) -> usize {
         3 + 1 + self.taylor_degree + self.double_angles as usize + 1
     }
@@ -333,14 +330,13 @@ impl CkksBootstrapper {
         let q0 = ctx.modulus(0).value() as f64 * ctx.modulus(1).value() as f64;
         let two_pi = std::f64::consts::TAU;
         let delta_in = z.scale; // ≈ Δ*2^15 after normalization
-        // value(θ) = 2π * phase(z) / (q0 * 2^r). The combined constant is
-        // ~2^-15; applying it in two balanced steps keeps each rounded
-        // integer near 2^17, preserving angle precision.
+                                // value(θ) = 2π * phase(z) / (q0 * 2^r). The combined constant is
+                                // ~2^-15; applying it in two balanced steps keeps each rounded
+                                // integer near 2^17, preserving angle precision.
         let c_v = two_pi * delta_in / (q0 * 2f64.powi(self.double_angles as i32));
         let c_half = c_v.sqrt();
-        let theta_wide = z
-            .mul_scalar_f64(c_half, self.params.scale)
-            .mul_scalar_f64(c_half, self.params.scale);
+        let theta_wide =
+            z.mul_scalar_f64(c_half, self.params.scale).mul_scalar_f64(c_half, self.params.scale);
         // theta_wide still carries the input's oversized declared scale
         // (≈ Δ·2^15). Normalize back to the working scale Δ with an exact
         // integer rescale: multiplying by round(Δ·q_next/scale) with a

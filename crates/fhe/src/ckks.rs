@@ -160,7 +160,12 @@ impl CkksEncoder {
     /// # Panics
     ///
     /// Panics if more than `N/2` values are supplied.
-    pub fn encode(&self, values: &[Complex], ctx: &std::sync::Arc<f1_poly::rns::RnsContext>, level: usize) -> RnsPoly {
+    pub fn encode(
+        &self,
+        values: &[Complex],
+        ctx: &std::sync::Arc<f1_poly::rns::RnsContext>,
+        level: usize,
+    ) -> RnsPoly {
         self.encode_with_scale(values, ctx, level, self.scale)
     }
 
@@ -416,11 +421,7 @@ impl Ciphertext {
         let l1 = x.a.mul(&y.b).add(&y.a.mul(&x.b));
         let l0 = x.b.mul(&y.b);
         let (u0, u1) = relin.apply(&l2);
-        let raw = Self {
-            a: l1.add(&u1),
-            b: l0.add(&u0),
-            scale: x.scale * y.scale,
-        };
+        let raw = Self { a: l1.add(&u1), b: l0.add(&u0), scale: x.scale * y.scale };
         raw.rescale()
     }
 
@@ -443,11 +444,7 @@ impl Ciphertext {
     /// Multiplies by an unencrypted (already encoded, NTT-domain) plaintext
     /// polynomial with the given scale, then rescales.
     pub fn mul_plain(&self, m: &RnsPoly, m_scale: f64) -> Self {
-        let raw = Self {
-            a: self.a.mul(m),
-            b: self.b.mul(m),
-            scale: self.scale * m_scale,
-        };
+        let raw = Self { a: self.a.mul(m), b: self.b.mul(m), scale: self.scale * m_scale };
         raw.rescale()
     }
 
@@ -502,11 +499,7 @@ impl Ciphertext {
 
     /// Drops to a lower level without rescaling semantics (alignment aid).
     pub fn truncate_level(&self, level: usize) -> Self {
-        Self {
-            a: self.a.truncate_level(level),
-            b: self.b.truncate_level(level),
-            scale: self.scale,
-        }
+        Self { a: self.a.truncate_level(level), b: self.b.truncate_level(level), scale: self.scale }
     }
 
     /// Homomorphic slot rotation via `σ_k` + key-switch (GHS variant; see
@@ -586,9 +579,7 @@ mod tests {
         // One-position cyclic rotation (either direction, pinned once).
         let fwd: Vec<Complex> = (0..32).map(|j| vals[(j + 1) % 32]).collect();
         let bwd: Vec<Complex> = (0..32).map(|j| vals[(j + 31) % 32]).collect();
-        let matches = |target: &[Complex]| {
-            rot.iter().zip(target).all(|(a, b)| close(*a, *b, 0.05))
-        };
+        let matches = |target: &[Complex]| rot.iter().zip(target).all(|(a, b)| close(*a, *b, 0.05));
         assert!(matches(&fwd) || matches(&bwd), "rotation result incorrect: {:?}", &rot[..4]);
     }
 

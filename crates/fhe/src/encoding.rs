@@ -36,10 +36,7 @@ impl SlotEncoder {
         let n = params.n;
         let t = params.plaintext_modulus;
         let tm = Modulus::new(u32::try_from(t).expect("slot packing needs t < 2^31"));
-        assert!(
-            tm.supports_ntt(n),
-            "plaintext modulus {t} is not ≡ 1 mod 2N; slots unavailable"
-        );
+        assert!(tm.supports_ntt(n), "plaintext modulus {t} is not ≡ 1 mod 2N; slots unavailable");
         let tables = NttTables::new(n, tm);
         let log_n = n.trailing_zeros();
         let two_n = 2 * n;

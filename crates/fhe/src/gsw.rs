@@ -59,13 +59,7 @@ pub struct GswCiphertext {
 
 impl GswCiphertext {
     /// Encrypts the scalar `mu` (typically 0 or 1).
-    pub fn encrypt(
-        mu: u64,
-        sk: &SecretKey,
-        level: usize,
-        eta: u32,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn encrypt(mu: u64, sk: &SecretKey, level: usize, eta: u32, rng: &mut impl Rng) -> Self {
         let ctx = sk.context().clone();
         let mu_r = u32::try_from(mu).expect("GSW payloads are small scalars");
         let mut rows = Vec::with_capacity(2 * level);

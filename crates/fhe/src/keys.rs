@@ -87,8 +87,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let sk = SecretKey::generate(&ctx, &mut rng);
         let via_ntt = sk.s_automorphism_at_level(3, 2).to_coeff();
-        let direct = RnsPoly::from_signed_coeffs(&ctx, 2, sk.signed_coeffs())
-            .automorphism(3);
+        let direct = RnsPoly::from_signed_coeffs(&ctx, 2, sk.signed_coeffs()).automorphism(3);
         assert_eq!(via_ntt, direct);
     }
 }

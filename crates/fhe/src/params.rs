@@ -31,14 +31,8 @@ pub const CKKS_LIMB_BITS: u32 = 25;
 pub fn security_level_bits(n: usize, log_q: u32) -> f64 {
     // (N, log Q) pairs giving ~128-bit security per the HE standard.
     // At fixed N, halving log Q roughly doubles the security level.
-    const TABLE_128: &[(usize, f64)] = &[
-        (1024, 27.0),
-        (2048, 54.0),
-        (4096, 109.0),
-        (8192, 218.0),
-        (16384, 438.0),
-        (32768, 881.0),
-    ];
+    const TABLE_128: &[(usize, f64)] =
+        &[(1024, 27.0), (2048, 54.0), (4096, 109.0), (8192, 218.0), (16384, 438.0), (32768, 881.0)];
     let budget_128 = TABLE_128
         .iter()
         .find(|&&(tn, _)| tn >= n)
@@ -93,14 +87,15 @@ impl BgvParams {
     ) -> Self {
         assert!(t >= 2, "plaintext modulus must be at least 2");
         let ctx = if fhe_friendly {
-            let qs = f1_modarith::primes::fhe_friendly_primes(LIMB_BITS, max_level + special_levels);
+            let qs =
+                f1_modarith::primes::fhe_friendly_primes(LIMB_BITS, max_level + special_levels);
             RnsContext::from_moduli(n, &qs)
         } else {
             RnsContext::for_ring(n, LIMB_BITS, max_level + special_levels)
         };
         for m in ctx.moduli() {
             assert!(
-                m.value() as u64 % t != 0,
+                !(m.value() as u64).is_multiple_of(t),
                 "plaintext modulus must be coprime to the chain"
             );
         }
@@ -144,7 +139,10 @@ impl BgvParams {
     pub fn with_plaintext_modulus(&self, t: u64) -> Self {
         assert!(t >= 2);
         for m in self.ctx.moduli() {
-            assert!(m.value() as u64 % t != 0, "plaintext modulus must be coprime to the chain");
+            assert!(
+                !(m.value() as u64).is_multiple_of(t),
+                "plaintext modulus must be coprime to the chain"
+            );
         }
         Self { plaintext_modulus: t, ..self.clone() }
     }

@@ -64,7 +64,11 @@ impl VectorOp {
         match self {
             VectorOp::Add | VectorOp::Sub | VectorOp::Mul => 2,
             VectorOp::ScalarMulAdd => 2,
-            VectorOp::ScalarMul | VectorOp::Ntt | VectorOp::Intt | VectorOp::Aut { .. } | VectorOp::Copy => 1,
+            VectorOp::ScalarMul
+            | VectorOp::Ntt
+            | VectorOp::Intt
+            | VectorOp::Aut { .. }
+            | VectorOp::Copy => 1,
         }
     }
 }
@@ -239,6 +243,22 @@ impl Dfg {
         h
     }
 
+    /// Critical-path depth of every instruction: the weighted longest
+    /// path from the instruction to any sink, where `weight(i)` is the
+    /// contribution of instruction `i` itself (e.g. its exposed latency).
+    /// The cycle-level scheduler ranks ready instructions by this (§4.4:
+    /// longest dependence chains first). Runs in O(V + E) because
+    /// instructions are topologically ordered by construction.
+    pub fn critical_depths(&self, weight: &dyn Fn(&Instruction) -> u64) -> Vec<u64> {
+        let mut depth = vec![0u64; self.instrs.len()];
+        for instr in self.instrs.iter().rev() {
+            let below =
+                self.users(instr.output).iter().map(|u| depth[u.0 as usize]).max().unwrap_or(0);
+            depth[instr.id.0 as usize] = weight(instr) + below;
+        }
+        depth
+    }
+
     /// Validates SSA and acyclicity invariants; returns instruction count.
     ///
     /// # Panics
@@ -322,6 +342,23 @@ mod tests {
         assert_eq!(counts["add"], 1);
         assert_eq!(counts["mul"], 1);
         assert_eq!(counts["aut"], 1);
+    }
+
+    #[test]
+    fn critical_depths_follow_longest_path() {
+        let (mut g, a, b, h) = tiny_graph();
+        let s = g.add_instr(VectorOp::Add, vec![a, b], 0); // depth: w(add)+w(mul)+w(ntt)
+        let p = g.add_instr(VectorOp::Mul, vec![s, h], 1);
+        let t = g.add_instr(VectorOp::Ntt, vec![p], 2);
+        g.mark_output(t);
+        let w = |i: &Instruction| match i.op {
+            VectorOp::Add => 4u64,
+            VectorOp::Mul => 8,
+            VectorOp::Ntt => 100,
+            _ => 1,
+        };
+        let d = g.critical_depths(&w);
+        assert_eq!(d, vec![112, 108, 100]);
     }
 
     #[test]

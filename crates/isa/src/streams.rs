@@ -75,6 +75,11 @@ pub struct MemEntry {
     pub bytes: u64,
     /// Destination / source scratchpad bank.
     pub bank: usize,
+    /// HBM channel carrying the transfer. Channels are independent
+    /// streams (`ArchConfig::hbm_channels` of them); transfers on
+    /// different channels proceed concurrently, each at the per-channel
+    /// bandwidth, and the checker verifies per-channel exclusivity.
+    pub channel: usize,
 }
 
 /// One on-chip network transfer (bank→cluster, cluster→bank, or
@@ -91,6 +96,11 @@ pub struct NetEntry {
     pub to: ComponentId,
     /// Bytes moved.
     pub bytes: u64,
+    /// Crossbar port lane within the (from, to) pair. Each pair has
+    /// `ArchConfig::xbar_ports` 512-byte lanes; a transfer occupies its
+    /// lane for `net_cycles(bytes)` cycles and the checker verifies no
+    /// lane is double-booked.
+    pub port: usize,
 }
 
 /// A complete static schedule: every component's stream plus the horizon.
@@ -98,7 +108,9 @@ pub struct NetEntry {
 pub struct StaticSchedule {
     /// Compute entries, grouped by cluster index.
     pub compute: Vec<Vec<ComputeEntry>>,
-    /// Off-chip transfers (one logical stream across controllers).
+    /// Off-chip transfers, tagged with their HBM channel (sorted by
+    /// cycle across channels; per-channel exclusivity is the checker's
+    /// concern).
     pub mem: Vec<MemEntry>,
     /// On-chip transfers.
     pub net: Vec<NetEntry>,
@@ -153,9 +165,26 @@ mod tests {
     #[test]
     fn schedule_bookkeeping() {
         let mut s = StaticSchedule::new(2);
-        s.compute[0].push(ComputeEntry { cycle: 0, instr: InstrId(0), fu: FuType::Ntt, fu_index: 0 });
-        s.compute[0].push(ComputeEntry { cycle: 5, instr: InstrId(1), fu: FuType::Mul, fu_index: 1 });
-        s.mem.push(MemEntry { cycle: 0, dir: MemDir::Load, value: ValueId(0), bytes: 65536, bank: 3 });
+        s.compute[0].push(ComputeEntry {
+            cycle: 0,
+            instr: InstrId(0),
+            fu: FuType::Ntt,
+            fu_index: 0,
+        });
+        s.compute[0].push(ComputeEntry {
+            cycle: 5,
+            instr: InstrId(1),
+            fu: FuType::Mul,
+            fu_index: 1,
+        });
+        s.mem.push(MemEntry {
+            cycle: 0,
+            dir: MemDir::Load,
+            value: ValueId(0),
+            bytes: 65536,
+            bank: 3,
+            channel: 7,
+        });
         s.makespan = 100;
         assert_eq!(s.entry_count(), 3);
         assert_eq!(s.encoded_bytes(), 24);
@@ -167,8 +196,18 @@ mod tests {
     #[should_panic(expected = "not monotone")]
     fn catches_backwards_stream() {
         let mut s = StaticSchedule::new(1);
-        s.compute[0].push(ComputeEntry { cycle: 9, instr: InstrId(0), fu: FuType::Add, fu_index: 0 });
-        s.compute[0].push(ComputeEntry { cycle: 3, instr: InstrId(1), fu: FuType::Add, fu_index: 0 });
+        s.compute[0].push(ComputeEntry {
+            cycle: 9,
+            instr: InstrId(0),
+            fu: FuType::Add,
+            fu_index: 0,
+        });
+        s.compute[0].push(ComputeEntry {
+            cycle: 3,
+            instr: InstrId(1),
+            fu: FuType::Add,
+            fu_index: 0,
+        });
         s.validate_monotone();
     }
 

@@ -200,9 +200,18 @@ mod tests {
             let model = kind.cost();
             let paper = kind.paper_cost();
             let rel = |a: f64, b: f64| (a - b).abs() / b;
-            assert!(rel(model.area_um2, paper.area_um2) < 0.02, "{kind}: area {model:?} vs {paper:?}");
-            assert!(rel(model.power_mw, paper.power_mw) < 0.20, "{kind}: power {model:?} vs {paper:?}");
-            assert!(rel(model.delay_ps, paper.delay_ps) < 0.10, "{kind}: delay {model:?} vs {paper:?}");
+            assert!(
+                rel(model.area_um2, paper.area_um2) < 0.02,
+                "{kind}: area {model:?} vs {paper:?}"
+            );
+            assert!(
+                rel(model.power_mw, paper.power_mw) < 0.20,
+                "{kind}: power {model:?} vs {paper:?}"
+            );
+            assert!(
+                rel(model.delay_ps, paper.delay_ps) < 0.10,
+                "{kind}: delay {model:?} vs {paper:?}"
+            );
         }
     }
 
@@ -211,7 +220,9 @@ mod tests {
         let ntt = MultiplierKind::NttFriendly.structure();
         let fhe = MultiplierKind::FheFriendly.structure();
         assert_eq!(ntt.mult16_stages - fhe.mult16_stages, 1);
-        let area_saving = 1.0 - MultiplierKind::FheFriendly.cost().area_um2 / MultiplierKind::NttFriendly.cost().area_um2;
+        let area_saving = 1.0
+            - MultiplierKind::FheFriendly.cost().area_um2
+                / MultiplierKind::NttFriendly.cost().area_um2;
         // Paper: "reduces area by 19%".
         assert!((0.10..0.25).contains(&area_saving), "area saving {area_saving}");
     }

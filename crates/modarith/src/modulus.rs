@@ -93,7 +93,7 @@ impl Modulus {
     /// True if `q ≡ 1 (mod 2n)`, i.e. a negacyclic NTT of size `n` exists.
     pub fn supports_ntt(&self, n: usize) -> bool {
         let two_n = 2 * n as u64;
-        (self.q as u64 - 1) % two_n == 0
+        (self.q as u64 - 1).is_multiple_of(two_n)
     }
 
     /// True if the modulus satisfies the FHE-friendly condition of §5.3
@@ -151,7 +151,7 @@ impl Modulus {
         // up to one correction step. With mu = floor(2^64/q) the estimate is
         // off by at most 1 for x < 2^63.
         let t = ((x as u128 * self.barrett_mu as u128) >> 64) as u64;
-        let mut r = (x - t * self.q as u64) as u64;
+        let mut r = x - t * self.q as u64;
         while r >= self.q as u64 {
             r -= self.q as u64;
         }
@@ -178,7 +178,7 @@ impl Modulus {
     ///
     /// Panics if `a == 0`.
     pub fn inv(&self, a: u32) -> u32 {
-        assert!(a % self.q != 0, "zero has no modular inverse");
+        assert!(!a.is_multiple_of(self.q), "zero has no modular inverse");
         self.pow(a, self.q as u64 - 2)
     }
 

@@ -52,7 +52,7 @@ pub fn mont_reduce(m: &Modulus, t: u64) -> u32 {
     let k = (t as u32).wrapping_mul(m.mont_qinv_neg());
     let folded = (t.wrapping_add(k as u64 * m.value() as u64)) >> 32;
     // t + k*q < 2^62 + 2^63 so no u64 overflow; result < 2q.
-    let r = folded as u64;
+    let r = folded;
     if r >= m.value() as u64 {
         (r - m.value() as u64) as u32
     } else {

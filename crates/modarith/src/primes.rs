@@ -16,13 +16,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -68,7 +68,7 @@ fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
 /// Panics if fewer than `count` such primes exist below `2^bits`, if
 /// `bits` is not in `(17, 32]`... in practice F1 uses 24–31 bit primes.
 pub fn primes_one_mod(bits: u32, modulus_step: u64, count: usize) -> Vec<u32> {
-    assert!(bits >= 18 && bits <= 31, "prime width out of range: {bits}");
+    assert!((18..=31).contains(&bits), "prime width out of range: {bits}");
     let top = 1u64 << bits;
     let mut found = Vec::with_capacity(count);
     // Largest candidate ≡ 1 mod step strictly below 2^bits.
@@ -108,11 +108,12 @@ pub fn fhe_friendly_primes(bits: u32, count: usize) -> Vec<u32> {
 
 /// Counts all primes `q < 2^32` in the residue class `q ≡ a (mod 2^16)`.
 ///
-/// The paper reports that its restriction still "allows for 6,186 prime
-/// moduli"; the census over our mirrored class (`a = 1`) and the paper's
-/// class (`a = 2^16 - 1`) both land near the Dirichlet-density prediction
-/// `π(2^32)/φ(2^16) ≈ 6,203`. Exhaustively checks 65,535 candidates, so it
-/// runs in well under a second.
+/// The paper's FHE-friendly class is `q ≡ -1 (mod 2^16)` (§5.3), i.e.
+/// `a = 2^16 - 1`, which holds exactly 6,148 primes below `2^32` — see
+/// [`paper_prime_census`]. (The paper's text says "6,186", which is the
+/// count of the mirrored `+1` class; both sit near the Dirichlet-density
+/// prediction `π(2^32)/φ(2^16) ≈ 6,203`.) Exhaustively checks 65,535
+/// candidates, so it runs in well under a second.
 pub fn prime_census_mod_2_16(a: u32) -> usize {
     assert!(a % 2 == 1, "even residue classes contain at most one prime");
     let step = 1u64 << 16;
@@ -128,6 +129,12 @@ pub fn prime_census_mod_2_16(a: u32) -> usize {
         cand += step;
     }
     count
+}
+
+/// The §5.3 census of the paper's own FHE-friendly class,
+/// `q ≡ -1 (mod 2^16)`: 6,148 prime moduli below `2^32`.
+pub fn paper_prime_census() -> usize {
+    prime_census_mod_2_16((1 << 16) - 1)
 }
 
 /// Splits a target modulus width `log Q` into a chain of `L = ceil(logQ/width)`
@@ -151,7 +158,7 @@ mod tests {
             }
             let mut d = 2;
             while d * d <= n {
-                if n % d == 0 {
+                if n.is_multiple_of(d) {
                     return false;
                 }
                 d += 1;
@@ -192,12 +199,13 @@ mod tests {
     }
 
     #[test]
-    fn census_matches_paper_exactly() {
-        // §5.3 claims the FHE-friendly restriction "allows for 6,186 prime
-        // moduli". Our mirrored class q ≡ +1 (mod 2^16) contains EXACTLY
-        // 6,186 primes below 2^32 — resolving the paper's sign convention
-        // (the -1 class holds 6,148).
-        assert_eq!(prime_census_mod_2_16(1), 6186);
+    fn census_counts_the_papers_class() {
+        // §5.3 restricts moduli to q ≡ -1 (mod 2^16); that class holds
+        // exactly 6,148 primes below 2^32. (The paper's text says "6,186",
+        // which is the mirrored +1 class's count — the calibration note in
+        // ROADMAP.md tracks the discrepancy.)
+        assert_eq!(paper_prime_census(), 6148);
+        assert_eq!(prime_census_mod_2_16(1), 6186, "mirrored +1 class");
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub fn apply_ntt(a_hat: &[u32], k: usize) -> Vec<u32> {
 pub fn apply_via_matrix(a: &[u32], k: usize, e: usize, m: &Modulus) -> Vec<u32> {
     let n = a.len();
     assert!(n.is_power_of_two() && e.is_power_of_two());
-    assert!(n % e == 0, "lane width must divide N");
+    assert!(n.is_multiple_of(e), "lane width must divide N");
     let g = n / e;
     assert!(g <= e, "automorphism unit requires G <= E");
     assert_valid_exponent(k, n);

@@ -57,10 +57,7 @@ pub fn centered_mod_small(x: &CenteredBig, t: u64) -> u64 {
 /// logarithm. This is the noise-magnitude measurement used to validate the
 /// paper's noise-budget reasoning (§2.2.2).
 pub fn log2_infinity_norm(p: &RnsPoly) -> f64 {
-    reconstruct_centered(p)
-        .iter()
-        .map(|(_, mag)| mag.log2())
-        .fold(f64::NEG_INFINITY, f64::max)
+    reconstruct_centered(p).iter().map(|(_, mag)| mag.log2()).fold(f64::NEG_INFINITY, f64::max)
 }
 
 #[cfg(test)]
@@ -118,7 +115,7 @@ mod tests {
     fn negative_of_q_half_boundary() {
         // Exactly -(Q-1)/2 style values must center correctly.
         let ctx = RnsContext::for_ring(16, 30, 2);
-        let p = RnsPoly::from_signed_coeffs(&ctx, 2, &vec![-1i64; 16]);
+        let p = RnsPoly::from_signed_coeffs(&ctx, 2, &[-1i64; 16]);
         let rec = reconstruct_centered(&p);
         for (neg, mag) in rec {
             assert!(neg);

@@ -33,6 +33,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Index loops intentionally mirror the per-element/NTT/transpose kernels structure of the
+// hardware they model; iterator rewrites obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod automorphism;

@@ -43,11 +43,7 @@ impl NttTables {
     /// `n` is not a power of two.
     pub fn new(n: usize, modulus: Modulus) -> Self {
         assert!(n.is_power_of_two(), "NTT size must be a power of two");
-        assert!(
-            modulus.supports_ntt(n),
-            "q = {} is not NTT-friendly for n = {n}",
-            modulus.value()
-        );
+        assert!(modulus.supports_ntt(n), "q = {} is not NTT-friendly for n = {n}", modulus.value());
         let psi = modulus.primitive_root_of_unity(2 * n as u64);
         let psi_inv = modulus.inv(psi);
         let log_n = n.trailing_zeros();

@@ -6,7 +6,7 @@ use f1_compiler::expand::Expanded;
 use f1_compiler::movement::TrafficBreakdown;
 use f1_compiler::{CycleSchedule, MovePlan};
 use f1_isa::streams::MemDir;
-use f1_isa::FuType;
+use f1_isa::{ComponentId, FuType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -43,10 +43,16 @@ pub struct SimReport {
 
 /// Validates a schedule and derives its statistics.
 ///
+/// Independently re-verifies the overlapped schedule the list scheduler
+/// emits: per-(cluster, FU, instance) occupancy, per-HBM-channel
+/// exclusivity, per-crossbar-lane exclusivity, load/store ordering
+/// against value production, streaming dependence timing, and the
+/// scheduler's own availability/occupancy counters.
+///
 /// # Panics
 ///
-/// Panics (like the paper's checker) on any missed dependence, FU
-/// structural hazard, or bandwidth violation.
+/// Panics (like the paper's checker) on any missed dependence, resource
+/// double-booking, or accounting mismatch.
 pub fn check_schedule(
     expanded: &Expanded,
     plan: &MovePlan,
@@ -56,39 +62,17 @@ pub fn check_schedule(
     let dfg = &expanded.dfg;
     let n = dfg.n;
 
-    // --- Dependence check: operands must be complete (produced or
-    // loaded) by each instruction's issue cycle.
-    let mut load_done: HashMap<u32, u64> = HashMap::new();
-    for m in &cs.schedule.mem {
-        if m.dir == MemDir::Load {
-            load_done.insert(m.value.0, m.cycle + arch.mem_cycles(m.bytes) + arch.hbm_latency_cycles);
-        }
-    }
-    for stream in &cs.schedule.compute {
-        for e in stream {
-            let instr = dfg.instr(e.instr);
-            for &v in &instr.inputs {
-                let ready = match dfg.producer(v) {
-                    Some(p) => cs.done_cycle[p.0 as usize],
-                    None => *load_done
-                        .get(&v.0)
-                        .unwrap_or_else(|| panic!("value {v:?} used but never loaded")),
-                };
-                assert!(
-                    ready <= e.cycle + arch.latency(instr.op.fu_type(), n),
-                    "missed dependence: instr {:?} at {} uses {v:?} ready at {ready}",
-                    e.instr,
-                    e.cycle
-                );
-            }
-        }
-    }
-
     // --- Structural hazards: per (cluster, fu, slot), issues must be at
     // least `occupancy` apart (fully pipelined units, one vector each).
     for (c, stream) in cs.schedule.compute.iter().enumerate() {
         let mut by_slot: HashMap<(FuType, usize), Vec<u64>> = HashMap::new();
         for e in stream {
+            assert!(
+                e.fu_index < arch.fus_per_cluster(e.fu),
+                "cluster {c} has no {:?} instance {}",
+                e.fu,
+                e.fu_index
+            );
             by_slot.entry((e.fu, e.fu_index)).or_default().push(e.cycle);
         }
         for ((fu, slot), mut cycles) in by_slot {
@@ -105,15 +89,157 @@ pub fn check_schedule(
         }
     }
 
-    // --- Memory bandwidth: transfers must not overlap beyond capacity.
+    // --- HBM channels: each channel is exclusive; transfers on it must
+    // be spaced by their per-channel streaming time.
     {
-        let mut last_end = 0u64;
-        let mut mem = cs.schedule.mem.clone();
-        mem.sort_by_key(|m| m.cycle);
-        for m in &mem {
-            assert!(m.cycle >= last_end.saturating_sub(1), "HBM over-subscribed at {}", m.cycle);
-            last_end = m.cycle + arch.mem_cycles(m.bytes);
+        let mut by_channel: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for m in &cs.schedule.mem {
+            assert!(m.channel < arch.hbm_channels, "unknown HBM channel {}", m.channel);
+            by_channel.entry(m.channel).or_default().push((m.cycle, m.bytes));
         }
+        for (ch, mut xs) in by_channel {
+            xs.sort_unstable();
+            for w in xs.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].0 + arch.mem_channel_cycles(w[0].1),
+                    "HBM channel {ch} double-booked: transfers at {} and {}",
+                    w[0].0,
+                    w[1].0
+                );
+            }
+        }
+    }
+
+    // --- Crossbar ports: per ((from, to), lane), transfers must be
+    // spaced by their streaming time.
+    {
+        let mut by_lane: HashMap<(ComponentId, ComponentId, usize), Vec<(u64, u64)>> =
+            HashMap::new();
+        for e in &cs.schedule.net {
+            assert!(e.port < arch.xbar_ports, "unknown crossbar lane {}", e.port);
+            by_lane.entry((e.from, e.to, e.port)).or_default().push((e.cycle, e.bytes));
+        }
+        for (lane, mut xs) in by_lane {
+            xs.sort_unstable();
+            for w in xs.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].0 + arch.net_cycles(w[0].1),
+                    "crossbar lane {lane:?} double-booked: transfers at {} and {}",
+                    w[0].0,
+                    w[1].0
+                );
+            }
+        }
+    }
+
+    // --- Dependences under rate-matched streaming semantics. A value is
+    // available `latency` (plus the slow-producer catch-up) after its
+    // producer issues, or once its earliest load completes; remote
+    // consumption additionally needs a crossbar transfer that starts no
+    // earlier than availability and lands before the consumer issues.
+    let weight = |fu: FuType| f1_compiler::cycle::stream_weight(arch, fu, n);
+    let mut load_done: HashMap<u32, u64> = HashMap::new();
+    for m in &cs.schedule.mem {
+        if m.dir == MemDir::Load {
+            let done = m.cycle + arch.mem_channel_cycles(m.bytes) + arch.hbm_latency_cycles;
+            let e = load_done.entry(m.value.0).or_insert(done);
+            *e = (*e).min(done);
+        }
+    }
+    let ready_at = |v: f1_isa::dfg::ValueId| -> u64 {
+        match dfg.producer(v) {
+            Some(p) => cs.done_cycle[p.0 as usize],
+            None => {
+                *load_done.get(&v.0).unwrap_or_else(|| panic!("value {v:?} used but never loaded"))
+            }
+        }
+    };
+    // Producer cluster per value (None = lives in a scratchpad bank).
+    let mut cluster_of: HashMap<u32, usize> = HashMap::new();
+    for (c, stream) in cs.schedule.compute.iter().enumerate() {
+        for e in stream {
+            cluster_of.insert(dfg.instr(e.instr).output.0, c);
+        }
+    }
+    // Earliest on-cluster arrival per transferred (value, cluster).
+    let mut arrival: HashMap<(u32, ComponentId), u64> = HashMap::new();
+    for e in &cs.schedule.net {
+        assert!(
+            e.cycle >= ready_at(e.value),
+            "net transfer of {:?} at {} before the value is available",
+            e.value,
+            e.cycle
+        );
+        let t = e.cycle + f1_compiler::cycle::XBAR_HOP_CYCLES;
+        let a = arrival.entry((e.value.0, e.to)).or_insert(t);
+        *a = (*a).min(t);
+    }
+    for (c, stream) in cs.schedule.compute.iter().enumerate() {
+        for e in stream {
+            let instr = dfg.instr(e.instr);
+            assert_eq!(
+                cs.issue_cycle[e.instr.0 as usize], e.cycle,
+                "stream/issue mismatch for {:?}",
+                e.instr
+            );
+            assert_eq!(
+                cs.done_cycle[e.instr.0 as usize],
+                e.cycle + weight(instr.op.fu_type()),
+                "availability mismatch for {:?}",
+                e.instr
+            );
+            for &v in &instr.inputs {
+                let local = cluster_of.get(&v.0) == Some(&c);
+                let ready = if local {
+                    ready_at(v)
+                } else {
+                    // Remote (other-cluster or bank-resident) operands MUST
+                    // arrive over the crossbar — a missing transfer is a
+                    // scheduler bug, not a free pass.
+                    arrival.get(&(v.0, ComponentId::Cluster(c))).copied().unwrap_or_else(|| {
+                        panic!(
+                            "instr {:?} on cluster {c} consumes remote {v:?} \
+                             with no crossbar transfer to this cluster",
+                            e.instr
+                        )
+                    })
+                };
+                assert!(
+                    ready <= e.cycle,
+                    "missed dependence: instr {:?} at {} uses {v:?} ready at {ready}",
+                    e.instr,
+                    e.cycle
+                );
+            }
+        }
+    }
+
+    // --- Memory ordering against production: a store (or a spilled
+    // intermediate's refetch) must not start before its value exists.
+    for m in &cs.schedule.mem {
+        if let Some(p) = dfg.producer(m.value) {
+            assert!(
+                m.cycle >= cs.done_cycle[p.0 as usize],
+                "{:?} transfer of {:?} at {} before production",
+                m.dir,
+                m.value,
+                m.cycle
+            );
+        }
+    }
+
+    // --- Counter cross-checks: the scheduler's occupancy bookkeeping
+    // must match the streams it emitted.
+    {
+        let chan_busy: u64 = cs.schedule.mem.iter().map(|m| arch.mem_channel_cycles(m.bytes)).sum();
+        assert_eq!(
+            cs.counters.hbm_channel_busy_cycles, chan_busy,
+            "HBM channel busy-cycle counter mismatch"
+        );
+        let xbar_busy: u64 = cs.schedule.net.iter().map(|e| arch.net_cycles(e.bytes)).sum();
+        assert_eq!(cs.counters.xbar_busy_cycles, xbar_busy, "crossbar busy-cycle counter mismatch");
+        let hbm_bytes: u64 = cs.schedule.mem.iter().map(|m| m.bytes).sum();
+        assert_eq!(cs.counters.hbm_bytes, hbm_bytes, "HBM byte counter mismatch");
     }
 
     // --- Statistics.
@@ -152,7 +278,7 @@ pub fn check_schedule(
         }
     }
     for m in &cs.schedule.mem {
-        let mc = arch.mem_cycles(m.bytes);
+        let mc = arch.mem_channel_cycles(m.bytes);
         add_interval(&mut timeline.hbm_util, m.cycle, m.cycle + mc);
     }
     for series in timeline.fu_active.iter_mut() {
@@ -160,12 +286,14 @@ pub fn check_schedule(
             *v /= window as f64; // busy-cycles -> average active units
         }
     }
+    // Channel busy-cycles over window × channels = bandwidth utilization.
     for v in timeline.hbm_util.iter_mut() {
-        *v = *v / window as f64 * 100.0;
+        *v = *v / (window * arch.hbm_channels.max(1) as u64) as f64 * 100.0;
     }
 
-    let total_fus: usize =
-        (0..arch.clusters).map(|_| FuType::ALL.iter().map(|&f| arch.fus_per_cluster(f)).sum::<usize>()).sum();
+    let total_fus: usize = (0..arch.clusters)
+        .map(|_| FuType::ALL.iter().map(|&f| arch.fus_per_cluster(f)).sum::<usize>())
+        .sum();
     let avg_fu_utilization = total_busy as f64 / (total_fus as u64 * makespan) as f64;
 
     let model = EnergyModel::default();

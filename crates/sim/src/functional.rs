@@ -122,8 +122,7 @@ impl BgvExecutor {
             }
         }
         let eval_time = start.elapsed();
-        let outputs =
-            program.outputs().iter().map(|o| self.keys.decrypt(&cts[o])).collect();
+        let outputs = program.outputs().iter().map(|o| self.keys.decrypt(&cts[o])).collect();
         FunctionalRun { outputs, eval_time, hom_ops }
     }
 }
@@ -171,8 +170,7 @@ mod tests {
         assert_eq!(run.outputs.len(), rows);
         assert!(run.eval_time.as_nanos() > 0);
         for (r, out) in run.outputs.iter().enumerate() {
-            let dot: u64 =
-                row_data[r].iter().zip(&vec_data).map(|(&a, &b)| a * b).sum::<u64>() % t;
+            let dot: u64 = row_data[r].iter().zip(&vec_data).map(|(&a, &b)| a * b).sum::<u64>() % t;
             let slots = enc.decode(out);
             assert!(
                 slots[0].iter().all(|&s| s == dot),

@@ -228,7 +228,7 @@ pub fn logistic_regression(scale: usize) -> Benchmark {
     let x = p.input(l); // packed sample matrix
     let w = p.input(l); // encrypted model
     let blocks = div(32, scale); // feature blocks
-    // Forward pass: per block, x·w inner products via rotate-and-add.
+                                 // Forward pass: per block, x·w inner products via rotate-and-add.
     let mut dots = Vec::new();
     for _ in 0..blocks {
         let prod = p.mul(x, w);
@@ -377,7 +377,7 @@ pub fn ckks_bootstrapping(scale: usize) -> Benchmark {
     let double_angles = div_sqrt(9, scale); // sparse-key HEAAN setting
     let mut p = Program::new(n);
     let ct = p.input(l_max); // the raised ciphertext
-    // Trace ladder.
+                             // Trace ladder.
     let two_n = 2 * n;
     let mut z = ct;
     let mut k = 3usize;

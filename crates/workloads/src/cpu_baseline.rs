@@ -129,8 +129,8 @@ impl CpuBaseline {
     /// Estimated single-thread seconds for a program at ring dimension
     /// `target_n` (costs measured at `self.n` scale by `N log N`).
     pub fn estimate_seconds(&self, program: &Program, target_n: usize) -> f64 {
-        let scale = (target_n as f64 * (target_n as f64).log2())
-            / (self.n as f64 * (self.n as f64).log2());
+        let scale =
+            (target_n as f64 * (target_n as f64).log2()) / (self.n as f64 * (self.n as f64).log2());
         let mut total = 0.0;
         for (i, op) in program.ops().iter().enumerate() {
             if let Some(k) = kind_of(op) {

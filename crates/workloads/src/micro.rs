@@ -22,7 +22,8 @@ pub enum MicroOp {
 
 impl MicroOp {
     /// All four rows, Table 4 order.
-    pub const ALL: [MicroOp; 4] = [MicroOp::Ntt, MicroOp::Automorphism, MicroOp::HomMul, MicroOp::HomPerm];
+    pub const ALL: [MicroOp; 4] =
+        [MicroOp::Ntt, MicroOp::Automorphism, MicroOp::HomMul, MicroOp::HomPerm];
 
     /// Row label.
     pub fn label(&self) -> &'static str {
@@ -151,10 +152,7 @@ mod tests {
                 let f1 = f1_reciprocal_s(op, n, l, &arch);
                 let hx = heax_reciprocal_s(op, n, l);
                 let speedup = hx / f1;
-                assert!(
-                    speedup > 50.0,
-                    "{op:?} at N={n}: speedup over HEAX only {speedup:.0}x"
-                );
+                assert!(speedup > 50.0, "{op:?} at N={n}: speedup over HEAX only {speedup:.0}x");
             }
         }
     }

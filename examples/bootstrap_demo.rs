@@ -18,11 +18,18 @@ fn main() {
     for bit in [0u64, 1] {
         let exhausted =
             keys.encrypt_at_level(&Plaintext::from_coeffs(&params, &[bit]), 1, &mut rng);
-        println!("bit {bit}: level {} budget {:.1} bits", exhausted.level(),
-            exhausted.noise_budget_bits());
+        println!(
+            "bit {bit}: level {} budget {:.1} bits",
+            exhausted.level(),
+            exhausted.noise_budget_bits()
+        );
         let fresh = boot.bootstrap(&exhausted);
-        println!("  -> bootstrapped: level {} budget {:.1} bits, decrypts to {}",
-            fresh.level(), fresh.noise_budget_bits(), keys.decrypt(&fresh).coeff(0));
+        println!(
+            "  -> bootstrapped: level {} budget {:.1} bits, decrypts to {}",
+            fresh.level(),
+            fresh.noise_budget_bits(),
+            keys.decrypt(&fresh).coeff(0)
+        );
         assert_eq!(keys.decrypt(&fresh).coeff(0), bit);
     }
     println!("\nBoth bits survived a full homomorphic decryption + digit extraction.");

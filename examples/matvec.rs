@@ -33,8 +33,9 @@ fn main() {
     let mut expected = Vec::new();
     for (r, &id) in m_rows.iter().enumerate() {
         let row: Vec<u64> = (0..n / 2).map(|j| ((3 * j + r) % 7) as u64).collect();
-        expected.push(row.iter().zip(&vec_data).map(|(&a, &b)| a * b).sum::<u64>()
-            % params.plaintext_modulus);
+        expected.push(
+            row.iter().zip(&vec_data).map(|(&a, &b)| a * b).sum::<u64>() % params.plaintext_modulus,
+        );
         inputs.insert(id, enc.encode(&[row.clone(), row], &params));
     }
     inputs.insert(v, enc.encode(&[vec_data.clone(), vec_data.clone()], &params));
@@ -52,11 +53,17 @@ fn main() {
     let (ex, plan, cycles) = f1::compiler_compile(&full, &arch);
     let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
     println!("F1 schedule for 4x16K matvec at L=16:");
-    println!("  {} vector instructions, makespan {} cycles ({:.3} ms)",
-        ex.dfg.instrs().len(), report.makespan, report.seconds * 1e3);
-    println!("  off-chip traffic {} MB, of which {:.1}% compulsory",
+    println!(
+        "  {} vector instructions, makespan {} cycles ({:.3} ms)",
+        ex.dfg.instrs().len(),
+        report.makespan,
+        report.seconds * 1e3
+    );
+    println!(
+        "  off-chip traffic {} MB, of which {:.1}% compulsory",
         report.traffic.total() / (1024 * 1024),
-        report.traffic.compulsory() as f64 / report.traffic.total() as f64 * 100.0);
+        report.traffic.compulsory() as f64 / report.traffic.total() as f64 * 100.0
+    );
     println!("  (the §4.2 example: naive order would fetch 480 MB of hints; the");
     println!("   hint-reuse schedule fetches each of the 15 hints once)");
 }

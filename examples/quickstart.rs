@@ -37,6 +37,9 @@ fn main() {
         report.seconds * 1e6,
         report.traffic.total() / (1024 * 1024),
     );
-    println!("key-switch hints resident: {} MB (the paper's 32 MB example, §2.4)",
-        plan.traffic.ksh_compulsory / (1024 * 1024));
+    println!(
+        "key-switch hints fetched: {} MB via {} key-switching (decomposition would move the paper's 32 MB hint, §2.4)",
+        plan.traffic.ksh_compulsory / (1024 * 1024),
+        if ex.used_ghs { "GHS" } else { "decomposition" },
+    );
 }

@@ -61,6 +61,33 @@ proptest! {
     }
 
     #[test]
+    fn no_fu_slot_is_ever_double_booked(p in arb_program()) {
+        // Direct property over the list scheduler's output, independent
+        // of check_schedule: no two ComputeEntrys may share a
+        // (cluster, fu, fu_index) slot with overlapping occupancy.
+        let arch = ArchConfig::f1_default();
+        let (ex, _, cycles) = f1::compiler_compile(&p, &arch);
+        let mut by_slot: std::collections::HashMap<(usize, f1::isa::FuType, usize), Vec<u64>> =
+            std::collections::HashMap::new();
+        for (c, stream) in cycles.schedule.compute.iter().enumerate() {
+            for e in stream {
+                by_slot.entry((c, e.fu, e.fu_index)).or_default().push(e.cycle);
+            }
+        }
+        for ((c, fu, slot), mut starts) in by_slot {
+            starts.sort_unstable();
+            let occ = arch.occupancy(fu, ex.dfg.n);
+            for w in starts.windows(2) {
+                prop_assert!(
+                    w[1] >= w[0] + occ,
+                    "cluster {} {:?}[{}] double-booked at {} and {}",
+                    c, fu, slot, w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn csr_orders_are_always_valid(p in arb_program()) {
         let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
         if let Some(order) = f1::compiler::csr::csr_order(&ex.dfg) {
