@@ -103,6 +103,25 @@ impl ArchConfig {
         self.scratchpad_banks as u64 * self.bank_bytes
     }
 
+    /// Resizes the scratchpad to `mb` megabytes, keeping the bank count
+    /// (the tiny-pad sweep knob: capacity-constrained configurations keep
+    /// the paper's banking/NoC topology while shrinking storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` megabytes do not divide evenly across the banks.
+    pub fn with_scratchpad_mb(mut self, mb: u64) -> Self {
+        let total = mb * 1024 * 1024;
+        assert_eq!(
+            total % self.scratchpad_banks as u64,
+            0,
+            "{mb} MB does not split across {} banks",
+            self.scratchpad_banks
+        );
+        self.bank_bytes = total / self.scratchpad_banks as u64;
+        self
+    }
+
     /// Total off-chip bandwidth in bytes per compute cycle.
     pub fn hbm_bytes_per_cycle(&self) -> f64 {
         (self.hbm_phys as u64 * self.hbm_gbps_per_phy) as f64 / self.freq_ghz
@@ -269,6 +288,14 @@ mod tests {
             assert!(c.latency(fu, 16384) > 0);
         }
         assert!(c.latency(FuType::Ntt, 16384) > c.latency(FuType::Mul, 16384));
+    }
+
+    #[test]
+    fn scratchpad_resize_keeps_banking() {
+        let c = ArchConfig::f1_default().with_scratchpad_mb(4);
+        assert_eq!(c.scratchpad_bytes(), 4 * 1024 * 1024);
+        assert_eq!(c.scratchpad_banks, 16, "bank count unchanged");
+        assert_eq!(ArchConfig::f1_default().with_scratchpad_mb(64), ArchConfig::f1_default());
     }
 
     #[test]

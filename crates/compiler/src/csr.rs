@@ -10,7 +10,7 @@
 //! largest benchmarks ("CSR is intractable for this benchmark").
 
 use f1_isa::dfg::{Dfg, InstrId};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Upper bound on instructions CSR will attempt: the quadratic-ish live
 /// set maintenance makes larger graphs impractical, mirroring the paper's
@@ -31,13 +31,16 @@ pub fn csr_order(dfg: &Dfg) -> Option<Vec<InstrId>> {
             *remaining_users.entry(v.0).or_insert(0) += 1;
         }
     }
+    // Tie-break: critical-path depth (deepest first), as in list
+    // schedulers of the CSR era. Deliberately NOT pass 1's priority —
+    // that would leak F1's hint-reuse grouping into the baseline the
+    // ablation is meant to compare against.
+    let depth = dfg.critical_depths(&|_| 1);
     let mut indegree: Vec<usize> = dfg
         .instrs()
         .iter()
         .map(|i| i.inputs.iter().filter(|v| dfg.producer(**v).is_some()).count())
         .collect();
-    // Ready heap keyed by (-freed, created, priority) => max freed first.
-    let mut ready: BinaryHeap<(i64, std::cmp::Reverse<u64>)> = BinaryHeap::new();
     let score = |dfg: &Dfg, remaining: &HashMap<u32, usize>, i: InstrId| -> i64 {
         let instr = dfg.instr(i);
         let freed =
@@ -45,20 +48,10 @@ pub fn csr_order(dfg: &Dfg) -> Option<Vec<InstrId>> {
                 as i64;
         freed - 1 // every instruction creates one value
     };
-    let mut in_heap = vec![false; n];
-    for (idx, &d) in indegree.iter().enumerate() {
-        if d == 0 {
-            let i = InstrId(idx as u32);
-            ready.push((score(dfg, &remaining_users, i), std::cmp::Reverse(dfg.instr(i).priority)));
-            in_heap[idx] = true;
-        }
-    }
-    // The heap stores scores that can go stale; we re-derive the candidate
-    // set each pop via a secondary ready list for correctness.
+    // Scores go stale as values die; we re-derive the candidate set each
+    // pop from a ready list for correctness.
     let mut ready_list: Vec<InstrId> =
         (0..n).filter(|&i| indegree[i] == 0).map(|i| InstrId(i as u32)).collect();
-    drop(ready);
-    drop(in_heap);
     let mut order = Vec::with_capacity(n);
     let mut issued = vec![false; n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -74,9 +67,7 @@ pub fn csr_order(dfg: &Dfg) -> Option<Vec<InstrId>> {
         ready_list
             .iter()
             .enumerate()
-            .max_by_key(|(_, &i)| {
-                (score(dfg, &remaining_users, i), std::cmp::Reverse(dfg.instr(i).priority))
-            })
+            .max_by_key(|(_, &i)| (score(dfg, &remaining_users, i), depth[i.0 as usize]))
             .map(|(p, _)| p)
     } {
         let chosen = ready_list.swap_remove(pos);

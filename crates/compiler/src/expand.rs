@@ -148,9 +148,14 @@ fn max_hint_level(program: &Program) -> usize {
 }
 
 /// Estimated makespan of an expansion on `arch`: the max of its three
-/// lower bounds — per-class FU throughput, compulsory off-chip traffic
-/// over aggregate bandwidth, and the streaming critical path. The
-/// cycle-level scheduler approaches whichever binds.
+/// lower bounds — per-class FU throughput, off-chip traffic over
+/// aggregate bandwidth, and the streaming critical path. The traffic
+/// bound includes a **capacity term**: when the loadable working set
+/// (hints + inputs) exceeds the scratchpad, the overflow fraction of
+/// every re-read beyond a value's first turns into a refetch, so a
+/// variant with smaller hints (GHS) wins on capacity-starved machines
+/// even where decomposition wins at 64 MB. The cycle-level scheduler
+/// approaches whichever bound binds.
 fn estimate_makespan(ex: &Expanded, arch: &ArchConfig) -> u64 {
     let dfg = &ex.dfg;
     let n = dfg.n;
@@ -166,16 +171,26 @@ fn estimate_makespan(ex: &Expanded, arch: &ArchConfig) -> u64 {
         .max()
         .unwrap_or(0);
     // Bandwidth bound: compulsory traffic (used inputs and hints loaded
-    // once, outputs stored once) — assumes the hint-reuse order keeps
-    // refetches negligible, which pass 2 delivers for fitting working sets.
-    let mut traffic: u64 = dfg
+    // once, outputs stored once) — the hint-reuse order keeps refetches
+    // negligible for working sets that fit the scratchpad.
+    let loadable: Vec<&f1_isa::dfg::ValueInfo> = dfg
         .values()
         .iter()
         .filter(|v| matches!(v.kind, ValueKind::Input | ValueKind::KeySwitchHint))
         .filter(|v| !dfg.users(v.id).is_empty())
-        .map(|v| v.bytes)
-        .sum();
+        .collect();
+    let working_set: u64 = loadable.iter().map(|v| v.bytes).sum();
+    let mut traffic = working_set;
     traffic += dfg.outputs().iter().map(|&v| dfg.value(v).bytes).sum::<u64>();
+    // Capacity term: the overflow fraction of the working set cannot stay
+    // resident, so that share of every repeat read is a refetch.
+    let cap = arch.scratchpad_bytes();
+    if working_set > cap {
+        let reread: u64 =
+            loadable.iter().map(|v| (dfg.users(v.id).len() as u64 - 1) * v.bytes).sum();
+        let overflow = (working_set - cap) as f64 / working_set as f64;
+        traffic += (reread as f64 * overflow) as u64;
+    }
     let mem_bound = arch.mem_cycles(traffic);
     // Dependence bound: the streaming critical path.
     let cp = dfg
@@ -647,6 +662,34 @@ mod tests {
         q.output(s);
         let exq = expand(&q, &ExpandOptions::default());
         assert!(!exq.used_ghs, "compute-cheap program must keep decomposition");
+    }
+
+    #[test]
+    fn auto_chooser_respects_scratchpad_capacity() {
+        // The same program that keeps decomposition on the 64 MB machine
+        // must flip to GHS on a capacity-starved one: eight muls reuse
+        // the relinearization hint, so decomposition's O(L²) hint (128 KB
+        // here) gets re-fetched on a 64 KB pad every round, while GHS's
+        // O(L) hint is four times cheaper to thrash.
+        let build = || {
+            let mut p = Program::new(1 << 10);
+            for _ in 0..8 {
+                let x = p.input(4);
+                let y = p.input(4);
+                let m = p.mul(x, y);
+                p.output(m);
+            }
+            p
+        };
+        let big = expand(
+            &build(),
+            &ExpandOptions { machine: Some(ArchConfig::f1_default()), ..Default::default() },
+        );
+        assert!(!big.used_ghs, "64 MB machine must keep decomposition");
+        let mut tiny = ArchConfig::f1_default();
+        tiny.bank_bytes = 64 * 1024 / tiny.scratchpad_banks as u64;
+        let small = expand(&build(), &ExpandOptions { machine: Some(tiny), ..Default::default() });
+        assert!(small.used_ghs, "64 KB machine must flip to GHS (capacity term)");
     }
 
     #[test]

@@ -11,11 +11,15 @@
 //!    operation into residue-vector instructions (Listing 1's expansion).
 //! 3. [`movement`] — the off-chip data movement scheduler (§4.3): greedy
 //!    priority scheduling against a scratchpad model with Belady-style
-//!    furthest-reuse eviction.
+//!    furthest-reuse eviction, emitting a residency event script whose
+//!    allocations carry the byte lineage of the space they reuse.
 //! 4. [`cycle`] — the cycle-level scheduler (§4.4): a resource-explicit
-//!    list scheduler that ranks instructions by critical-path depth,
-//!    overlaps HBM-channel transfers with compute, models FU and
-//!    crossbar-port occupancy, and emits per-component static streams.
+//!    list scheduler over the event graph that ranks instructions by
+//!    critical-path depth, overlaps loads/spills/refetches with compute
+//!    on the HBM-channel timelines, gates consumers on refetch
+//!    completion, models FU/crossbar/register-file occupancy, and emits
+//!    per-component static streams whose resident set provably fits the
+//!    scratchpad at every cycle.
 //! 5. [`csr`] — the Goodman–Hsu register-pressure-aware baseline
 //!    scheduler used by the Table 5 sensitivity study.
 //!

@@ -9,15 +9,26 @@
 //! value with the furthest expected reuse — an approximation of Belady's
 //! optimal policy [8]. Dirty evictions add spill stores (and later fills)
 //! to the plan.
+//!
+//! The pass's product is a **residency event script** ([`MoveEvent`]):
+//! every load, instruction issue, spill store, refetch, silent drop and
+//! output store, in simulation order, with each allocation carrying the
+//! *byte lineage* of the scratchpad space it occupies (`space_from`: the
+//! release events whose freed bytes it reuses). Pass 3 schedules this
+//! script against real resource timelines; gating every allocation on its
+//! donors' release times guarantees — byte by byte — that the resident
+//! set never exceeds capacity at any cycle, which the `f1-sim` checker
+//! verifies independently.
 
 use f1_arch::ArchConfig;
 use f1_isa::dfg::{Dfg, InstrId, ValueId, ValueKind};
-use f1_isa::streams::MemDir;
-use f1_isa::FuType;
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use crate::expand::Expanded;
+
+/// Index of an event in [`MovePlan::events`].
+pub type EventId = u32;
 
 /// Off-chip traffic split by data class and necessity — the Fig 9a
 /// categories.
@@ -52,44 +63,130 @@ impl TrafficBreakdown {
     pub fn compulsory(&self) -> u64 {
         self.ksh_compulsory + self.input_compulsory
     }
+
+    /// Capacity-induced (non-compulsory) bytes.
+    pub fn non_compulsory(&self) -> u64 {
+        self.total() - self.compulsory()
+    }
 }
 
-/// One planned off-chip transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PlannedXfer {
-    /// Approximate issue cycle (pass-2 clock).
-    pub cycle: u64,
-    /// Load or store.
-    pub dir: MemDir,
-    /// The value moved.
-    pub value: ValueId,
-    /// Bytes.
-    pub bytes: u64,
+/// One step of the residency script pass 2 hands to pass 3.
+///
+/// Events appear in pass-2 simulation order, which is a legal order for
+/// every constraint they encode: an allocation's `space_from` donors
+/// always precede it, a refetch always follows the eviction it undoes,
+/// and every release follows the reads it must wait out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MoveEvent {
+    /// Fetch `value` from HBM into the scratchpad (first load *or*
+    /// capacity refetch — pass 3 schedules both on the HBM channel
+    /// timelines and gates consumers on their completion).
+    Load {
+        /// The value fetched.
+        value: ValueId,
+        /// Bytes moved.
+        bytes: u64,
+        /// `true` when this re-fetches a previously evicted value.
+        refetch: bool,
+        /// Liveness-derived deadline: the issue rank of the earliest
+        /// unissued consumer (lower = needed sooner). Pass 3 drains
+        /// ready loads in this order.
+        deadline: u64,
+        /// Release events whose freed bytes this allocation reuses.
+        space_from: Vec<EventId>,
+    },
+    /// Issue an instruction; its output value is allocated here.
+    Issue {
+        /// The instruction issued.
+        instr: InstrId,
+        /// Release events whose freed bytes the output reuses.
+        space_from: Vec<EventId>,
+    },
+    /// Evict a dirty, still-needed `value`: write it back to HBM. The
+    /// bytes are free once the store completes; a later [`MoveEvent::Load`]
+    /// with `refetch = true` brings it back.
+    SpillStore {
+        /// The value spilled.
+        value: ValueId,
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Release a clean or dead copy of `value` (no writeback: the HBM
+    /// copy is still valid, or nothing reads the value again).
+    Drop {
+        /// The value dropped.
+        value: ValueId,
+        /// Bytes freed.
+        bytes: u64,
+    },
+    /// Store a program output to HBM. With `frees` set this doubles as
+    /// the value's eviction (a dead output squeezed out by capacity —
+    /// its store is compulsory anyway, so eviction costs nothing extra).
+    OutputStore {
+        /// The output value stored.
+        value: ValueId,
+        /// Bytes moved.
+        bytes: u64,
+        /// Whether the scratchpad bytes are freed at store completion.
+        frees: bool,
+    },
 }
 
-/// The pass-2 result: an instruction issue order plus transfer plan.
+impl MoveEvent {
+    /// The value this event moves or releases (`None` for `Issue`).
+    pub fn value(&self) -> Option<ValueId> {
+        match self {
+            MoveEvent::Load { value, .. }
+            | MoveEvent::SpillStore { value, .. }
+            | MoveEvent::Drop { value, .. }
+            | MoveEvent::OutputStore { value, .. } => Some(*value),
+            MoveEvent::Issue { .. } => None,
+        }
+    }
+
+    /// Whether this event releases scratchpad bytes.
+    pub fn frees_space(&self) -> bool {
+        matches!(
+            self,
+            MoveEvent::SpillStore { .. }
+                | MoveEvent::Drop { .. }
+                | MoveEvent::OutputStore { frees: true, .. }
+        )
+    }
+}
+
+/// The pass-2 result: an instruction issue order plus the residency
+/// event script and traffic accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MovePlan {
     /// Instructions in issue order.
     pub order: Vec<InstrId>,
-    /// Planned transfers in issue order.
-    pub xfers: Vec<PlannedXfer>,
-    /// Approximate pass-2 compute cycle at which each value is first
-    /// consumed. Pass 3 prioritizes load issue across HBM channels by
-    /// this (earliest-need first) instead of replaying the flat transfer
-    /// order.
-    pub earliest_need: HashMap<ValueId, u64>,
+    /// The residency script, in simulation order (see [`MoveEvent`]).
+    pub events: Vec<MoveEvent>,
     /// Traffic accounting.
     pub traffic: TrafficBreakdown,
     /// Approximate makespan of the simplified model, in cycles.
     pub approx_cycles: u64,
 }
 
+impl MovePlan {
+    /// Values loaded at least once (convenience for tests/diagnostics).
+    pub fn loaded_values(&self) -> HashSet<ValueId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                MoveEvent::Load { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Residency {
     OffChip,
     Resident,
-    /// Spilled intermediate currently in HBM.
+    /// Spilled intermediate (or evicted clean value) currently in HBM.
     Spilled,
 }
 
@@ -112,9 +209,15 @@ struct Scheduler<'a> {
     dfg: &'a Dfg,
     arch: &'a ArchConfig,
     free_bytes: u64,
+    /// Free scratchpad chunks in FIFO order, each tagged with the release
+    /// event that freed it (`None` = the initial empty pad). Consuming a
+    /// chunk makes its release event a `space_from` donor.
+    free_pool: VecDeque<(u64, Option<EventId>)>,
     residency: HashMap<ValueId, Residency>,
     dirty: HashSet<ValueId>,
     resident_set: HashSet<ValueId>,
+    output_set: HashSet<ValueId>,
+    stored_outputs: HashSet<ValueId>,
     /// Per-value cursor into its (priority-ordered) user list.
     user_cursor: HashMap<ValueId, usize>,
     issued: Vec<bool>,
@@ -155,13 +258,17 @@ impl<'a> Scheduler<'a> {
                 ready.push(std::cmp::Reverse((rank[instr.id.0 as usize], instr.id.0)));
             }
         }
+        let capacity = arch.scratchpad_bytes();
         Self {
             dfg,
             arch,
-            free_bytes: arch.scratchpad_bytes(),
+            free_bytes: capacity,
+            free_pool: VecDeque::from([(capacity, None)]),
             residency: HashMap::new(),
             dirty: HashSet::new(),
             resident_set: HashSet::new(),
+            output_set: dfg.outputs().iter().copied().collect(),
+            stored_outputs: HashSet::new(),
             user_cursor: HashMap::new(),
             issued: vec![false; n_instr],
             rank,
@@ -173,8 +280,7 @@ impl<'a> Scheduler<'a> {
             compute_cycle: [0.0; 4],
             out: MovePlan {
                 order: Vec::with_capacity(n_instr),
-                xfers: Vec::new(),
-                earliest_need: HashMap::new(),
+                events: Vec::new(),
                 traffic: TrafficBreakdown::default(),
                 approx_cycles: 0,
             },
@@ -183,6 +289,8 @@ impl<'a> Scheduler<'a> {
 
     fn run(mut self) -> MovePlan {
         // Seed load requests for every loadable value that has users.
+        // (User-less pass-through outputs stay off-chip: HBM already
+        // holds their authoritative bits, so no load or store is owed.)
         for v in self.dfg.values() {
             let loadable = matches!(v.kind, ValueKind::Input | ValueKind::KeySwitchHint);
             if loadable {
@@ -214,17 +322,27 @@ impl<'a> Scheduler<'a> {
                 );
             }
         }
-        // Store outputs (compulsory output traffic).
+        // Store outputs not already squeezed out by capacity (compulsory
+        // output traffic). Outputs whose authoritative copy already sits
+        // in HBM — never-touched pass-through inputs, or clean copies
+        // dropped after an earlier spill — have nothing on chip to move,
+        // so no store is emitted (and none charged): a store of bytes the
+        // scratchpad does not hold would be physically unrealizable, and
+        // the checker rejects exactly that.
         for &v in self.dfg.outputs() {
+            if !self.stored_outputs.insert(v) {
+                continue;
+            }
+            if !self.resident_set.contains(&v) {
+                match self.residency.get(&v) {
+                    Some(Residency::OffChip) | Some(Residency::Spilled) => continue,
+                    state => panic!("output {v:?} is neither on chip nor in HBM ({state:?})"),
+                }
+            }
             let bytes = self.dfg.value(v).bytes;
             self.mem_cycle += self.arch.mem_cycles(bytes);
             self.out.traffic.input_compulsory += bytes;
-            self.out.xfers.push(PlannedXfer {
-                cycle: self.mem_cycle,
-                dir: MemDir::Store,
-                value: v,
-                bytes,
-            });
+            self.out.events.push(MoveEvent::OutputStore { value: v, bytes, frees: false });
         }
         let compute = self.compute_cycle.iter().cloned().fold(0.0f64, f64::max) as u64;
         self.out.approx_cycles = compute.max(self.mem_cycle);
@@ -235,14 +353,55 @@ impl<'a> Scheduler<'a> {
         self.compute_cycle.iter().cloned().fold(0.0f64, f64::max) as u64
     }
 
+    /// Claims `bytes` from the free pool, returning the distinct release
+    /// events whose space is being reused (the allocation's byte lineage).
+    fn take_space(&mut self, bytes: u64) -> Vec<EventId> {
+        assert!(self.free_bytes >= bytes, "allocation without space");
+        self.free_bytes -= bytes;
+        let mut need = bytes;
+        let mut donors = Vec::new();
+        while need > 0 {
+            let (sz, src) = self.free_pool.pop_front().expect("free pool out of sync");
+            if let Some(e) = src {
+                if !donors.contains(&e) {
+                    donors.push(e);
+                }
+            }
+            if sz > need {
+                self.free_pool.push_front((sz - need, src));
+                need = 0;
+            } else {
+                need -= sz;
+            }
+        }
+        donors
+    }
+
+    /// Returns `bytes` to the free pool, tagged with the release event.
+    fn release_space(&mut self, bytes: u64, donor: EventId) {
+        self.free_bytes += bytes;
+        self.free_pool.push_back((bytes, Some(donor)));
+    }
+
+    /// Whether a pending load request is still worth serving: the value
+    /// has an unissued consumer. (A request can go stale when every user
+    /// issued after the value was re-requested — loading a dead value
+    /// back would even be unsound for dropped intermediates, whose bits
+    /// no longer exist in HBM. Outputs never need loading for their
+    /// final store: one that is off-chip already has valid HBM bits.)
+    fn still_wanted(&mut self, v: ValueId) -> bool {
+        self.next_use_rank(v) != u64::MAX
+    }
+
     /// Issues pending loads while memory is not too far ahead of compute
     /// and space is free (evicting only dead or clean-and-distant data).
     fn drain_loads(&mut self) {
         const LOOKAHEAD: u64 = 20_000;
         while let Some(&std::cmp::Reverse((_, vid))) = self.pending_loads.peek() {
             let v = ValueId(vid);
-            if self.resident_set.contains(&v) {
+            if self.resident_set.contains(&v) || !self.still_wanted(v) {
                 self.pending_loads.pop();
+                self.requested.remove(&v);
                 continue;
             }
             let have_ready = !self.ready.is_empty();
@@ -261,7 +420,8 @@ impl<'a> Scheduler<'a> {
     fn force_one_load(&mut self) -> bool {
         while let Some(std::cmp::Reverse((_, vid))) = self.pending_loads.pop() {
             let v = ValueId(vid);
-            if self.resident_set.contains(&v) {
+            if self.resident_set.contains(&v) || !self.still_wanted(v) {
+                self.requested.remove(&v);
                 continue;
             }
             let bytes = self.dfg.value(v).bytes;
@@ -273,6 +433,10 @@ impl<'a> Scheduler<'a> {
     }
 
     fn do_load(&mut self, v: ValueId, bytes: u64) {
+        debug_assert!(
+            self.dfg.producer(v).is_none_or(|p| self.issued[p.0 as usize]),
+            "load of unproduced {v:?}"
+        );
         let first_time = self.residency.get(&v) == Some(&Residency::OffChip);
         let kind = self.dfg.value(v).kind;
         match (kind, first_time) {
@@ -283,25 +447,28 @@ impl<'a> Scheduler<'a> {
             _ => self.out.traffic.interm_load += bytes,
         }
         self.mem_cycle += self.arch.mem_cycles(bytes);
-        self.out.xfers.push(PlannedXfer {
-            cycle: self.mem_cycle,
-            dir: MemDir::Load,
+        let space_from = self.take_space(bytes);
+        let deadline = self.next_use_rank(v);
+        self.out.events.push(MoveEvent::Load {
             value: v,
             bytes,
+            refetch: !first_time,
+            deadline,
+            space_from,
         });
         self.requested.remove(&v);
-        self.mark_resident(v, bytes, false);
+        self.mark_resident(v, false);
     }
 
-    fn mark_resident(&mut self, v: ValueId, bytes: u64, dirty: bool) {
-        debug_assert!(self.free_bytes >= bytes);
-        self.free_bytes -= bytes;
+    /// Records residency (space must already be claimed via
+    /// [`Self::take_space`]) and wakes users whose operands are now all
+    /// resident.
+    fn mark_resident(&mut self, v: ValueId, dirty: bool) {
         self.resident_set.insert(v);
         self.residency.insert(v, Residency::Resident);
         if dirty {
             self.dirty.insert(v);
         }
-        // Wake users whose operands are now all resident.
         for &u in self.dfg.users(v) {
             let ui = u.0 as usize;
             if self.issued[ui] {
@@ -333,7 +500,18 @@ impl<'a> Scheduler<'a> {
             self.ready.pop();
             self.missing[ii] = missing.len();
             for v in missing {
-                self.request_load(v);
+                // Only request values that exist somewhere: loadable
+                // graph inputs, or intermediates whose producer has
+                // issued (an unissued producer will wake this consumer
+                // via mark_resident when it runs — requesting a load for
+                // its output would fetch bits HBM never held).
+                let producible = match self.dfg.producer(v) {
+                    None => true,
+                    Some(p) => self.issued[p.0 as usize],
+                };
+                if producible {
+                    self.request_load(v);
+                }
             }
         }
         None
@@ -349,12 +527,6 @@ impl<'a> Scheduler<'a> {
 
     fn issue(&mut self, i: InstrId) {
         let instr = self.dfg.instr(i).clone();
-        // Record when each operand is first needed (pass-2 clock): pass 3
-        // uses this to order loads across channels.
-        let front = self.compute_front();
-        for &v in &instr.inputs {
-            self.out.earliest_need.entry(v).or_insert(front);
-        }
         // Pin operands; account compute time on the FU class.
         let occ = self.arch.occupancy(instr.op.fu_type(), self.dfg.n) as f64;
         let fus = (self.arch.fus_per_cluster(instr.op.fu_type()) * self.arch.clusters) as f64;
@@ -364,13 +536,15 @@ impl<'a> Scheduler<'a> {
         let bytes = self.dfg.value(instr.output).bytes;
         let pinned: HashSet<ValueId> = instr.inputs.iter().copied().collect();
         assert!(self.make_space_pinned(bytes, true, &pinned), "cannot allocate result space");
+        let space_from = self.take_space(bytes);
+        self.out.events.push(MoveEvent::Issue { instr: i, space_from });
         self.issued[i.0 as usize] = true;
         self.out.order.push(i);
-        self.mark_resident(instr.output, bytes, true);
+        self.mark_resident(instr.output, true);
         // Free operands that just died.
         for &v in &instr.inputs {
             self.advance_cursor(v);
-            if self.next_use_rank(v) == u64::MAX && !self.dfg.outputs().contains(&v) {
+            if self.next_use_rank(v) == u64::MAX && !self.output_set.contains(&v) {
                 self.evict(v, false);
             }
         }
@@ -406,7 +580,8 @@ impl<'a> Scheduler<'a> {
 
     /// Frees at least `bytes`, evicting dead values first, then (if
     /// allowed) the live value with the furthest next use (§4.3's
-    /// Belady-style policy).
+    /// Belady-style policy). Dead outputs are evictable: their eviction
+    /// doubles as the compulsory output store.
     fn make_space_pinned(
         &mut self,
         bytes: u64,
@@ -416,14 +591,20 @@ impl<'a> Scheduler<'a> {
         if self.free_bytes >= bytes {
             return true;
         }
-        // Collect (next_use, value) for every resident candidate.
+        // Collect (next_use, value) for every resident candidate. Live
+        // outputs (still-consumed values marked as outputs) are pinned
+        // like any live value until dead.
         let mut candidates: Vec<(u64, ValueId)> = Vec::new();
         let resident: Vec<ValueId> = self.resident_set.iter().copied().collect();
         for v in resident {
-            if pinned.contains(&v) || self.dfg.outputs().contains(&v) {
+            if pinned.contains(&v) {
                 continue;
             }
-            candidates.push((self.next_use_rank(v), v));
+            let next = self.next_use_rank(v);
+            if self.output_set.contains(&v) && next != u64::MAX {
+                continue;
+            }
+            candidates.push((next, v));
         }
         // Furthest reuse first (dead values have rank MAX).
         candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
@@ -444,26 +625,32 @@ impl<'a> Scheduler<'a> {
             return;
         }
         let bytes = self.dfg.value(v).bytes;
-        self.free_bytes += bytes;
         let was_dirty = self.dirty.remove(&v);
-        let kind = self.dfg.value(v).kind;
+        let eid = self.out.events.len() as EventId;
         if was_dirty && still_needed {
-            // Spill store (fill happens on the later reload).
+            // Spill store (the later refetch is gated on its completion).
             self.out.traffic.interm_store += bytes;
             self.mem_cycle += self.arch.mem_cycles(bytes);
-            self.out.xfers.push(PlannedXfer {
-                cycle: self.mem_cycle,
-                dir: MemDir::Store,
-                value: v,
-                bytes,
-            });
+            self.out.events.push(MoveEvent::SpillStore { value: v, bytes });
             self.residency.insert(v, Residency::Spilled);
-        } else if matches!(kind, ValueKind::Input | ValueKind::KeySwitchHint) {
-            // Clean: still in HBM; mark for (non-compulsory) reload.
-            if self.residency.get(&v) != Some(&Residency::OffChip) {
+        } else if was_dirty && self.output_set.contains(&v) && !self.stored_outputs.contains(&v) {
+            // Dead output squeezed out: store it now (compulsory anyway).
+            self.out.traffic.input_compulsory += bytes;
+            self.mem_cycle += self.arch.mem_cycles(bytes);
+            self.out.events.push(MoveEvent::OutputStore { value: v, bytes, frees: true });
+            self.stored_outputs.insert(v);
+            self.residency.insert(v, Residency::Spilled);
+        } else {
+            self.out.events.push(MoveEvent::Drop { value: v, bytes });
+            if !was_dirty && self.residency.get(&v) != Some(&Residency::OffChip) {
+                // Clean copies (loadable values, or intermediates brought
+                // back by a refetch) still exist in HBM; record that so
+                // reloads classify as non-compulsory and final output
+                // stores know nothing on chip needs moving.
                 self.residency.insert(v, Residency::Spilled);
             }
         }
+        self.release_space(bytes, eid);
         if still_needed {
             // Users will re-request on revalidation; proactively enqueue.
             self.requested.remove(&v);
@@ -472,12 +659,12 @@ impl<'a> Scheduler<'a> {
     }
 }
 
-fn fu_idx(fu: FuType) -> usize {
+fn fu_idx(fu: f1_isa::FuType) -> usize {
     match fu {
-        FuType::Ntt => 0,
-        FuType::Aut => 1,
-        FuType::Mul => 2,
-        FuType::Add => 3,
+        f1_isa::FuType::Ntt => 0,
+        f1_isa::FuType::Aut => 1,
+        f1_isa::FuType::Mul => 2,
+        f1_isa::FuType::Add => 3,
     }
 }
 
@@ -578,13 +765,108 @@ mod tests {
         p.output(s);
         let arch = ArchConfig::f1_default();
         let (ex, plan) = plan_for(&p, &arch);
-        // Every input value must appear as a load in the plan.
-        let loaded: std::collections::HashSet<ValueId> =
-            plan.xfers.iter().filter(|x| x.dir == MemDir::Load).map(|x| x.value).collect();
+        // Every input value must appear as a load in the plan, before the
+        // first instruction consuming it.
+        let loaded = plan.loaded_values();
         for v in ex.dfg.values() {
             if v.kind == ValueKind::Input && !ex.dfg.users(v.id).is_empty() {
                 assert!(loaded.contains(&v.id), "input {:?} never loaded", v.id);
             }
         }
+        for (i, ev) in plan.events.iter().enumerate() {
+            if let MoveEvent::Issue { instr, .. } = ev {
+                for &inp in &ex.dfg.instr(*instr).inputs {
+                    let pos = plan.events[..i].iter().position(|e| {
+                        matches!(e, MoveEvent::Load { value, .. } if *value == inp)
+                            || matches!(e, MoveEvent::Issue { instr: p, .. }
+                                if ex.dfg.instr(*p).output == inp)
+                    });
+                    assert!(pos.is_some(), "operand {inp:?} not resident before issue");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_script_is_internally_consistent() {
+        // Replay the script with a byte-exact scratchpad: allocations must
+        // reference donors that already freed their space, occupancy must
+        // never exceed capacity, and refetches must follow evictions.
+        let p = Program::listing2_matvec(1 << 12, 8, 4);
+        let mut arch = ArchConfig::f1_default();
+        arch.scratchpad_banks = 1;
+        arch.bank_bytes = 2 * 1024 * 1024; // thrash hard
+        let (ex, plan) = plan_for(&p, &arch);
+        let cap = arch.scratchpad_bytes();
+        let mut occupied = 0u64;
+        let mut freed_bytes: HashMap<EventId, u64> = HashMap::new();
+        let mut resident: HashSet<ValueId> = HashSet::new();
+        for (i, ev) in plan.events.iter().enumerate() {
+            match ev {
+                MoveEvent::Load { value, bytes, refetch, space_from, .. } => {
+                    assert!(!resident.contains(value), "double load of {value:?}");
+                    if *refetch {
+                        let prior = plan.events[..i]
+                            .iter()
+                            .any(|e| e.frees_space() && e.value() == Some(*value));
+                        assert!(prior, "refetch of {value:?} with no prior eviction");
+                    }
+                    for d in space_from {
+                        assert!(freed_bytes.contains_key(d), "donor {d} has not freed yet");
+                    }
+                    occupied += bytes;
+                    resident.insert(*value);
+                }
+                MoveEvent::Issue { instr, space_from } => {
+                    for d in space_from {
+                        assert!(freed_bytes.contains_key(d), "donor {d} has not freed yet");
+                    }
+                    occupied += ex.dfg.value(ex.dfg.instr(*instr).output).bytes;
+                    resident.insert(ex.dfg.instr(*instr).output);
+                }
+                MoveEvent::SpillStore { value, bytes }
+                | MoveEvent::Drop { value, bytes }
+                | MoveEvent::OutputStore { value, bytes, frees: true } => {
+                    assert!(resident.remove(value), "eviction of non-resident {value:?}");
+                    occupied -= bytes;
+                    freed_bytes.insert(i as EventId, *bytes);
+                }
+                MoveEvent::OutputStore { .. } => {}
+            }
+            assert!(occupied <= cap, "script exceeds capacity at event {i}");
+        }
+        assert!(plan.traffic.interm_store > 0, "this configuration must spill");
+        let refetches = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e, MoveEvent::Load { refetch: true, .. }))
+            .count();
+        assert!(refetches > 0, "this configuration must refetch");
+    }
+
+    #[test]
+    fn dead_outputs_can_be_squeezed_out() {
+        // Many outputs + a pad smaller than their sum: the scheduler must
+        // store outputs early instead of deadlocking, and total output
+        // traffic must stay compulsory (each output stored exactly once).
+        let mut p = Program::new(1 << 12);
+        let l = 4usize;
+        let mut outs = Vec::new();
+        for _ in 0..8 {
+            let x = p.input(l);
+            let y = p.input(l);
+            outs.push(p.mul(x, y));
+        }
+        for o in outs {
+            p.output(o);
+        }
+        let mut arch = ArchConfig::f1_default();
+        arch.scratchpad_banks = 1;
+        arch.bank_bytes = 1024 * 1024;
+        let (ex, plan) = plan_for(&p, &arch);
+        let store_count =
+            plan.events.iter().filter(|e| matches!(e, MoveEvent::OutputStore { .. })).count();
+        let unique_outputs: HashSet<ValueId> = ex.dfg.outputs().iter().copied().collect();
+        assert_eq!(store_count, unique_outputs.len(), "each output stored exactly once");
     }
 }

@@ -103,6 +103,22 @@ pub struct NetEntry {
     pub port: usize,
 }
 
+/// One scratchpad release: the cycle at which a value's on-chip bytes
+/// are freed (a Belady eviction, a spill store completing, or a dead
+/// output's store completing). Between an eviction and the completion of
+/// the value's next load, the value has **no on-chip copy**; the checker
+/// rejects any consumer reading in that window and uses these entries to
+/// prove the resident set never exceeds scratchpad capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictEntry {
+    /// Cycle the bytes are free (for spills: the writeback completion).
+    pub cycle: u64,
+    /// The value whose residency ends.
+    pub value: ValueId,
+    /// Bytes freed.
+    pub bytes: u64,
+}
+
 /// A complete static schedule: every component's stream plus the horizon.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct StaticSchedule {
@@ -114,6 +130,9 @@ pub struct StaticSchedule {
     pub mem: Vec<MemEntry>,
     /// On-chip transfers.
     pub net: Vec<NetEntry>,
+    /// Scratchpad releases (sorted by cycle). Together with loads and
+    /// production cycles these define every value's residency intervals.
+    pub evict: Vec<EvictEntry>,
     /// Total cycles (makespan) of the schedule.
     pub makespan: u64,
 }
@@ -124,9 +143,13 @@ impl StaticSchedule {
         Self { compute: vec![Vec::new(); clusters], ..Default::default() }
     }
 
-    /// Total number of stream entries across all components.
+    /// Total number of stream entries across all components (evictions
+    /// are free-list updates in the owning bank's stream).
     pub fn entry_count(&self) -> usize {
-        self.compute.iter().map(Vec::len).sum::<usize>() + self.mem.len() + self.net.len()
+        self.compute.iter().map(Vec::len).sum::<usize>()
+            + self.mem.len()
+            + self.net.len()
+            + self.evict.len()
     }
 
     /// Bytes of the paper's compact encoding: each entry is one operation
@@ -154,6 +177,9 @@ impl StaticSchedule {
         }
         for w in self.mem.windows(2) {
             assert!(w[0].cycle <= w[1].cycle, "memory stream not monotone");
+        }
+        for w in self.evict.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "evict stream not monotone");
         }
     }
 }

@@ -15,12 +15,18 @@
 //!   programs against the real BGV implementation to verify input-output
 //!   correctness, and doubles as the *timed CPU software baseline* of
 //!   Table 3.
+//! * [`replay`] — capacity-faithful replay: executes a schedule's
+//!   streams in cycle order against an explicit scratchpad + HBM (with
+//!   evictions literally destroying on-chip copies) and compares outputs
+//!   bit-for-bit against direct dataflow evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
 pub mod functional;
+pub mod replay;
 
 pub use checker::{check_schedule, SimReport, Timeline};
 pub use functional::BgvExecutor;
+pub use replay::{eval_dfg, mock_inputs, replay_schedule};

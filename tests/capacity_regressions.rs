@@ -1,0 +1,163 @@
+//! Regression tests pinning the capacity-faithful scheduler's revived
+//! ablations and the behaviors the 64 MB baseline must keep.
+
+use f1::arch::ArchConfig;
+use f1::compiler::{ExpandOptions, Program};
+use f1::workloads::benchmarks::lola_mnist_uw;
+
+#[test]
+fn csr_ablation_bites_at_4mb() {
+    // The revived Table 5 CSR column: on a 4 MB scratchpad, Goodman-Hsu's
+    // register-pressure order (which knows nothing of hint reuse) must
+    // cost at least 5% over the hint-priority order once spills and
+    // refetches are real scheduled events. (Measured ~5.7x here; the
+    // deep benchmarks in table5_sensitivity read 4-9x.)
+    let p = Program::listing2_matvec(1 << 13, 8, 4);
+    let tiny = ArchConfig::f1_default().with_scratchpad_mb(4);
+    let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
+    let base_plan = f1::compiler::movement::schedule(&ex, &tiny);
+    let base = f1::compiler::cycle::schedule(&ex, &base_plan, &tiny).makespan;
+    let order = f1::compiler::csr::csr_order(&ex.dfg).expect("matvec is CSR-tractable");
+    let csr_plan = f1::compiler::movement::schedule_with_order(&ex, &tiny, Some(order));
+    let csr = f1::compiler::cycle::schedule(&ex, &csr_plan, &tiny).makespan;
+    let ratio = csr as f64 / base as f64;
+    assert!(ratio >= 1.05, "CSR@4MB ratio {ratio:.3} regressed below 1.05x");
+}
+
+#[test]
+fn capacity_constrained_schedules_validate_at_4mb() {
+    // LoLa-MNIST and listing2_matvec at a 4 MB scratchpad: consumers
+    // gated on refetch completion, resident set <= capacity at every
+    // cycle — check_schedule panics on any violation, and the replayed
+    // execution must be bit-identical to direct evaluation.
+    let tiny = ArchConfig::f1_default().with_scratchpad_mb(4);
+    for (name, p) in [
+        ("lola_mnist_uw", lola_mnist_uw(8).program),
+        ("listing2_matvec", Program::listing2_matvec(1 << 13, 8, 4)),
+    ] {
+        let (ex, plan, cs) = f1::compiler_compile(&p, &tiny);
+        assert!(plan.traffic.non_compulsory() > 0, "{name}: 4 MB must thrash");
+        let report = f1::sim::check_schedule(&ex, &plan, &cs, &tiny);
+        assert!(report.makespan > 0, "{name}");
+        let inputs = f1::sim::mock_inputs(&ex.dfg);
+        let direct = f1::sim::eval_dfg(&ex.dfg, &inputs);
+        let replayed = f1::sim::replay_schedule(&ex.dfg, &cs, &tiny, &inputs);
+        for &o in ex.dfg.outputs() {
+            assert_eq!(replayed[&o], direct[&o], "{name}: output {o:?} differs");
+        }
+    }
+}
+
+#[test]
+fn tinypad_makespan_is_monotone_in_capacity() {
+    // The tinypad_sweep property at test scale: growing the scratchpad
+    // never slows the schedule down.
+    let p = lola_mnist_uw(8).program;
+    let mut prev = u64::MAX;
+    for mb in [1u64, 2, 4, 8, 16, 32, 64] {
+        let arch = ArchConfig::f1_default().with_scratchpad_mb(mb);
+        let (_, _, cs) = f1::compiler_compile(&p, &arch);
+        assert!(
+            cs.makespan <= prev,
+            "makespan increased with capacity at {mb} MB: {} > {prev}",
+            cs.makespan
+        );
+        prev = cs.makespan;
+    }
+}
+
+#[test]
+fn utilization_unchanged_at_64mb() {
+    // The PR 2 pinned floor must survive the capacity model: at the
+    // paper's 64 MB scratchpad nothing spills, so gating edges must not
+    // cost utilization. (Full-size LoLa-MNIST is pinned by the ignored
+    // full-size smoke below; this uses the fast matvec anchor.)
+    let p = Program::listing2_matvec(1 << 13, 8, 4);
+    let arch = ArchConfig::f1_default();
+    let (ex, plan, cs) = f1::compiler_compile(&p, &arch);
+    assert_eq!(plan.traffic.interm_store, 0, "64 MB must not spill matvec");
+    let report = f1::sim::check_schedule(&ex, &plan, &cs, &arch);
+    assert!(
+        report.avg_fu_utilization >= 0.15,
+        "64 MB utilization {:.3} regressed below the pinned 15%",
+        report.avg_fu_utilization
+    );
+}
+
+#[test]
+fn pass_through_outputs_stay_physical() {
+    // An input marked directly as an output owes no load and no store:
+    // its authoritative bits never leave HBM. Under capacity pressure the
+    // schedule must not invent a store of data the scratchpad never held
+    // (the checker rejects exactly that), and replay must still produce
+    // the input bits for the output.
+    let mut p = Program::new(1 << 10);
+    let x = p.input(4);
+    let y = p.input(4);
+    let m = p.mul(x, y);
+    p.output(x); // pass-through: never computed on as an output
+    p.output(m);
+    let mut arch = ArchConfig::f1_default();
+    arch.scratchpad_banks = 1;
+    arch.bank_bytes = 64 * 1024; // 16 values of 4 KB: forces eviction churn
+    let (ex, plan, cs) = f1::compiler_compile(&p, &arch);
+    let report = f1::sim::check_schedule(&ex, &plan, &cs, &arch);
+    assert!(report.makespan > 0);
+    let inputs = f1::sim::mock_inputs(&ex.dfg);
+    let direct = f1::sim::eval_dfg(&ex.dfg, &inputs);
+    let replayed = f1::sim::replay_schedule(&ex.dfg, &cs, &arch, &inputs);
+    for &o in ex.dfg.outputs() {
+        assert_eq!(replayed[&o], direct[&o], "output {o:?} differs");
+    }
+}
+
+/// Full-size (`F1_SCALE=1`) smoke: LoLa-MNIST compiles, validates under
+/// the capacity-strict checker, and holds the ~26%-utilization result at
+/// 64 MB. Run with `cargo test --release -- --ignored` (slow unoptimized;
+/// sub-second in release).
+#[test]
+#[ignore = "full-size run; CI runs it on schedule/label (use --release)"]
+fn full_size_lola_utilization_smoke() {
+    let b = lola_mnist_uw(1);
+    let arch = ArchConfig::f1_default();
+    let (ex, plan, cs) = f1::compiler_compile(&b.program, &arch);
+    let report = f1::sim::check_schedule(&ex, &plan, &cs, &arch);
+    assert!(
+        report.avg_fu_utilization >= 0.15,
+        "full-size LoLa utilization {:.3} below the pinned 15%",
+        report.avg_fu_utilization
+    );
+}
+
+/// Full-size Table 4 smoke (the ROADMAP "time the F1_SCALE=1 table3/4
+/// binaries" item): every microbenchmark op at every paper parameter set
+/// must produce a positive reciprocal throughput, and F1 must beat the
+/// measured CPU baseline. Timing recorded in the README.
+#[test]
+#[ignore = "full-size run; CI runs it on schedule/label"]
+fn full_size_table4_smoke() {
+    use f1::workloads::cpu_baseline::CpuBaseline;
+    use f1::workloads::micro::{f1_reciprocal_s, heax_reciprocal_s, micro_program, MicroOp};
+    let arch = ArchConfig::f1_default();
+    for (n, _logq, l) in f1::fhe::params::table4_parameter_sets() {
+        let mut mp = Program::new(256);
+        let x = mp.input(l);
+        let y = mp.input(l);
+        let m = mp.mul(x, y);
+        let r = mp.aut(m, 3);
+        let a = mp.add(r, m);
+        let s = mp.mod_switch(a);
+        mp.output(s);
+        let base = CpuBaseline::measure(&mp, 256);
+        for op in MicroOp::ALL {
+            let f1_s = f1_reciprocal_s(op, n, l, &arch);
+            let cpu_s = base.estimate_seconds(&micro_program(op, n, l), n);
+            let heax_s = heax_reciprocal_s(op, n, l);
+            assert!(f1_s > 0.0 && heax_s > 0.0);
+            assert!(
+                cpu_s / f1_s > 1.0,
+                "{op:?} at N={n}, L={l}: F1 ({f1_s:.3e} s) must beat the CPU ({cpu_s:.3e} s)"
+            );
+        }
+    }
+}
