@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use f1_fhe::keys::SecretKey;
-use f1_fhe::keyswitch::{DecompHint, GhsHint};
+use f1_fhe::keyswitch::{DecompHint, GhsHint, KsScratch};
 use f1_poly::rns::{RnsContext, RnsPoly};
 use rand::SeedableRng;
 
@@ -18,7 +18,11 @@ fn bench_keyswitch(c: &mut Criterion) {
     let decomp = DecompHint::generate(&sk, &target, l, 65537, 8, &mut rng);
     let ghs = GhsHint::generate(&sk, &target_full, l, 65537, 8, &mut rng);
     let x = RnsPoly::random_at_level(&ctx, l, &mut rng).to_ntt();
+    let mut scratch = KsScratch::default();
     c.bench_function("keyswitch_decomp_n4096_l4", |b| b.iter(|| decomp.apply(&x)));
+    c.bench_function("keyswitch_decomp_scratch_n4096_l4", |b| {
+        b.iter(|| decomp.apply_with_scratch(&x, &mut scratch))
+    });
     c.bench_function("keyswitch_ghs_n4096_l4", |b| b.iter(|| ghs.apply(&x)));
 }
 

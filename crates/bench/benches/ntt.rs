@@ -1,4 +1,5 @@
-//! Criterion bench: reference NTT vs the hardware-shaped four-step NTT.
+//! Criterion bench: lazy-reduction NTT vs the strict reference transform
+//! vs the hardware-shaped four-step NTT.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use f1_modarith::{primes, Modulus};
@@ -13,10 +14,17 @@ fn bench_ntt(c: &mut Criterion) {
         let tables = NttTables::new(n, m);
         let four = FourStepNtt::new(n, 128, m);
         let a: Vec<u32> = (0..n as u32).map(|i| i % q).collect();
-        c.bench_function(&format!("ntt_reference_n{n}"), |b| {
+        c.bench_function(&format!("ntt_lazy_n{n}"), |b| {
             b.iter(|| {
                 let mut x = a.clone();
                 tables.forward(&mut x);
+                x
+            })
+        });
+        c.bench_function(&format!("ntt_reference_n{n}"), |b| {
+            b.iter(|| {
+                let mut x = a.clone();
+                tables.forward_reference(&mut x);
                 x
             })
         });

@@ -31,8 +31,19 @@ pub fn bench_scale_or(default: usize) -> usize {
 
 /// Compiles and simulates one benchmark on a configuration.
 pub fn run_benchmark(b: &Benchmark, arch: &ArchConfig) -> SimReport {
+    let t0 = std::time::Instant::now();
     let (ex, plan, cs) = f1_compiler::compile(&b.program, arch);
-    f1_sim::check_schedule(&ex, &plan, &cs, arch)
+    let t_compile = t0.elapsed();
+    let report = f1_sim::check_schedule(&ex, &plan, &cs, arch);
+    if std::env::var("F1_TIMING").is_ok() {
+        eprintln!(
+            "[timing] {:<30} compile {:>6.2}s  check {:>6.2}s",
+            b.name,
+            t_compile.as_secs_f64(),
+            (t0.elapsed() - t_compile).as_secs_f64()
+        );
+    }
+    report
 }
 
 /// Geometric mean helper.

@@ -60,7 +60,7 @@ use f1_isa::dfg::{Dfg, InstrId, ValueId};
 use f1_isa::streams::{ComputeEntry, EvictEntry, MemDir, MemEntry, NetEntry, StaticSchedule};
 use f1_isa::{ComponentId, FuType};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Cycles a value spends crossing one bit-sliced crossbar switch. The
 /// transfer then streams behind the wavefront at the port rate, holding
@@ -126,14 +126,30 @@ impl Occupancy {
     }
 
     /// Reserves `[start, start + len)`; the caller must have probed.
+    ///
+    /// Adjacent intervals are coalesced: a fully packed timeline (the
+    /// common case for hot FU slots and HBM channels) stays a handful of
+    /// intervals, keeping [`Occupancy::probe`] effectively O(log k)
+    /// instead of degrading into a linear walk of every past commit.
     fn commit(&mut self, start: u64, len: u64) {
         if len == 0 {
             return;
         }
+        let end = start + len;
         let pos = self.busy.partition_point(|&(s, _)| s < start);
         debug_assert!(pos == 0 || self.busy[pos - 1].1 <= start, "overlapping commit");
-        debug_assert!(pos == self.busy.len() || start + len <= self.busy[pos].0);
-        self.busy.insert(pos, (start, start + len));
+        debug_assert!(pos == self.busy.len() || end <= self.busy[pos].0);
+        let glue_prev = pos > 0 && self.busy[pos - 1].1 == start;
+        let glue_next = pos < self.busy.len() && self.busy[pos].0 == end;
+        match (glue_prev, glue_next) {
+            (true, true) => {
+                self.busy[pos - 1].1 = self.busy[pos].1;
+                self.busy.remove(pos);
+            }
+            (true, false) => self.busy[pos - 1].1 = end,
+            (false, true) => self.busy[pos].0 = start,
+            (false, false) => self.busy.insert(pos, (start, end)),
+        }
     }
 }
 
@@ -166,6 +182,9 @@ pub fn schedule(expanded: &Expanded, plan: &MovePlan, arch: &ArchConfig) -> Cycl
     CycleScheduler::new(expanded, plan, arch).run()
 }
 
+/// Sentinel for "no entry" in the dense per-value tables.
+const NONE_U32: u32 = u32::MAX;
+
 struct CycleScheduler<'a> {
     dfg: &'a Dfg,
     plan: &'a MovePlan,
@@ -179,24 +198,33 @@ struct CycleScheduler<'a> {
     /// Earliest start each node inherits from its gating predecessors.
     gate_time: Vec<u64>,
     depth: Vec<u64>,
-    // Resources.
+    // Resources. All per-value and per-resource state is held in dense
+    // Vec-indexed tables (ValueIds and FU classes are dense): the
+    // scheduler touches them hundreds of times per instruction, and
+    // hashing dominated the pass at full-size benchmark scale.
     channels: Vec<Occupancy>,
-    fu_slots: Vec<HashMap<FuType, Vec<Occupancy>>>,
-    net_busy: HashMap<(ComponentId, ComponentId), Vec<Occupancy>>,
-    // Value state.
-    avail: HashMap<ValueId, u64>,
-    home: HashMap<ValueId, ComponentId>,
-    /// Per-value remote copies: cluster -> arrival cycle.
-    copies: HashMap<ValueId, HashMap<usize, u64>>,
+    /// `fu_slots[cluster][FuType::index()][instance]`.
+    fu_slots: Vec<[Vec<Occupancy>; 4]>,
+    /// `net_busy[comp_index(from) * n_comp + comp_index(to)][lane]`.
+    net_busy: Vec<Vec<Occupancy>>,
+    n_comp: usize,
+    // Value state (indexed by ValueId).
+    avail: Vec<u64>,
+    home: Vec<Option<ComponentId>>,
+    /// Per-value remote copies: small (cluster, arrival) lists.
+    copies: Vec<Vec<(u32, u64)>>,
     /// When a re-homed value's bank copy lands (transfers from the bank
     /// may not start earlier).
-    bank_ready: HashMap<ValueId, u64>,
+    bank_ready: Vec<u64>,
     /// Writeback completion per re-homed value (its release must wait).
-    wb_done: HashMap<ValueId, u64>,
+    wb_done: Vec<u64>,
     // Register-file occupancy model.
     rf_used: Vec<u64>,
     rf_queue: Vec<VecDeque<ValueId>>,
-    rf_member: HashMap<ValueId, usize>,
+    /// Cluster whose register file holds the value, `NONE_U32` if none.
+    rf_member: Vec<u32>,
+    /// Reusable operand buffer (avoids cloning instruction input lists).
+    input_buf: Vec<ValueId>,
     // Ready queues.
     instr_ready: BinaryHeap<(u64, std::cmp::Reverse<u32>)>,
     mem_ready: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
@@ -215,16 +243,18 @@ impl<'a> CycleScheduler<'a> {
         let n_instr = dfg.instrs().len();
         assert_eq!(plan.order.len(), n_instr, "plan must issue every instruction");
 
-        // --- Build the event graph by replaying pass 2's script.
+        // --- Build the event graph by replaying pass 2's script. All
+        // bookkeeping tables are dense (indexed by event id / value id).
+        let n_values = dfg.values().len();
         let n_mem = plan.events.iter().filter(|e| !matches!(e, MoveEvent::Issue { .. })).count();
         let total = n_instr + n_mem;
         let mut mem_nodes = Vec::with_capacity(n_mem);
         let mut succs: Vec<Vec<(u32, Gate)>> = vec![Vec::new(); total];
         let mut indeg = vec![0u32; total];
-        let mut ev_node: HashMap<u32, u32> = HashMap::new();
-        let mut cur_alloc: HashMap<ValueId, u32> = HashMap::new();
-        let mut readers: HashMap<ValueId, Vec<u32>> = HashMap::new();
-        let mut last_release: HashMap<ValueId, u32> = HashMap::new();
+        let mut ev_node: Vec<u32> = vec![NONE_U32; plan.events.len()];
+        let mut cur_alloc: Vec<u32> = vec![NONE_U32; n_values];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_values];
+        let mut last_release: Vec<u32> = vec![NONE_U32; n_values];
         let edge = |succs: &mut Vec<Vec<(u32, Gate)>>,
                     indeg: &mut Vec<u32>,
                     from: u32,
@@ -238,30 +268,34 @@ impl<'a> CycleScheduler<'a> {
                 MoveEvent::Issue { instr, space_from } => {
                     let nid = instr.0;
                     for &v in &dfg.instr(*instr).inputs {
-                        if let Some(&a) = cur_alloc.get(&v) {
+                        let a = cur_alloc[v.0 as usize];
+                        if a != NONE_U32 {
                             edge(&mut succs, &mut indeg, a, nid, Gate::Order);
                         }
-                        readers.entry(v).or_default().push(nid);
+                        readers[v.0 as usize].push(nid);
                     }
                     for &d in space_from {
-                        edge(&mut succs, &mut indeg, ev_node[&d], nid, Gate::Done);
+                        edge(&mut succs, &mut indeg, ev_node[d as usize], nid, Gate::Done);
                     }
-                    cur_alloc.insert(dfg.instr(*instr).output, nid);
-                    readers.insert(dfg.instr(*instr).output, Vec::new());
+                    let out = dfg.instr(*instr).output.0 as usize;
+                    cur_alloc[out] = nid;
+                    readers[out].clear();
                 }
                 MoveEvent::Load { value, space_from, .. } => {
                     let nid = (n_instr + mem_nodes.len()) as u32;
                     mem_nodes.push(MemNode::Load { ev: ei as u32 });
                     for &d in space_from {
-                        edge(&mut succs, &mut indeg, ev_node[&d], nid, Gate::Done);
+                        edge(&mut succs, &mut indeg, ev_node[d as usize], nid, Gate::Done);
                     }
                     // A reload may not start before the previous copy's
                     // release (and, for spills, the writeback) completes.
-                    if let Some(&r) = last_release.get(value) {
+                    let r = last_release[value.0 as usize];
+                    if r != NONE_U32 {
                         edge(&mut succs, &mut indeg, r, nid, Gate::Done);
                     }
-                    cur_alloc.insert(*value, nid);
-                    readers.insert(*value, Vec::new());
+                    let vi = value.0 as usize;
+                    cur_alloc[vi] = nid;
+                    readers[vi].clear();
                 }
                 MoveEvent::SpillStore { value, .. }
                 | MoveEvent::Drop { value, .. }
@@ -272,20 +306,20 @@ impl<'a> CycleScheduler<'a> {
                     } else {
                         MemNode::Store { ev: ei as u32 }
                     });
-                    if let Some(&a) = cur_alloc.get(value) {
+                    let vi = value.0 as usize;
+                    let a = cur_alloc[vi];
+                    if a != NONE_U32 {
                         let g = if (a as usize) < n_instr { Gate::Drain } else { Gate::Done };
                         edge(&mut succs, &mut indeg, a, nid, g);
                     }
-                    if let Some(rs) = readers.get(value) {
-                        for &r in rs {
-                            edge(&mut succs, &mut indeg, r, nid, Gate::ReaderHold);
-                        }
+                    for &r in &readers[vi] {
+                        edge(&mut succs, &mut indeg, r, nid, Gate::ReaderHold);
                     }
-                    ev_node.insert(ei as u32, nid);
+                    ev_node[ei] = nid;
                     if ev.frees_space() {
-                        cur_alloc.remove(value);
-                        readers.remove(value);
-                        last_release.insert(*value, nid);
+                        cur_alloc[vi] = NONE_U32;
+                        readers[vi].clear();
+                        last_release[vi] = nid;
                     }
                 }
             }
@@ -297,12 +331,15 @@ impl<'a> CycleScheduler<'a> {
 
         let fu_slots = (0..arch.clusters)
             .map(|_| {
-                FuType::ALL
-                    .iter()
-                    .map(|&fu| (fu, vec![Occupancy::default(); arch.fus_per_cluster(fu)]))
-                    .collect()
+                let mut slots: [Vec<Occupancy>; 4] = Default::default();
+                for &fu in FuType::ALL.iter() {
+                    slots[fu.index()] = vec![Occupancy::default(); arch.fus_per_cluster(fu)];
+                }
+                slots
             })
             .collect();
+        let n_comp = arch.clusters + arch.scratchpad_banks;
+        let net_busy = vec![vec![Occupancy::default(); arch.xbar_ports.max(1)]; n_comp * n_comp];
 
         let mut s = Self {
             dfg,
@@ -317,15 +354,17 @@ impl<'a> CycleScheduler<'a> {
             depth,
             channels: vec![Occupancy::default(); arch.hbm_channels.max(1)],
             fu_slots,
-            net_busy: HashMap::new(),
-            avail: HashMap::new(),
-            home: HashMap::new(),
-            copies: HashMap::new(),
-            bank_ready: HashMap::new(),
-            wb_done: HashMap::new(),
+            net_busy,
+            n_comp,
+            avail: vec![0; n_values],
+            home: vec![None; n_values],
+            copies: vec![Vec::new(); n_values],
+            bank_ready: vec![0; n_values],
+            wb_done: vec![0; n_values],
             rf_used: vec![0; arch.clusters],
             rf_queue: vec![VecDeque::new(); arch.clusters],
-            rf_member: HashMap::new(),
+            rf_member: vec![NONE_U32; n_values],
+            input_buf: Vec::new(),
             instr_ready: BinaryHeap::new(),
             mem_ready: BinaryHeap::new(),
             out: StaticSchedule::new(arch.clusters),
@@ -428,15 +467,34 @@ impl<'a> CycleScheduler<'a> {
         (ci, start)
     }
 
+    /// Dense index of a crossbar endpoint (clusters, then banks).
+    #[inline(always)]
+    fn comp_index(&self, c: ComponentId) -> usize {
+        match c {
+            ComponentId::Cluster(i) => i,
+            ComponentId::Bank(b) => self.arch.clusters + b,
+            ComponentId::MemCtrl(_) => unreachable!("crossbar transfers never touch a MemCtrl"),
+        }
+    }
+
+    /// The lane timelines for the `(from, to)` crossbar pair.
+    #[inline(always)]
+    fn lanes(&self, from: ComponentId, to: ComponentId) -> &[Occupancy] {
+        &self.net_busy[self.comp_index(from) * self.n_comp + self.comp_index(to)]
+    }
+
     /// Ends a value's residency: invalidates every on-chip location and
     /// releases its register-file slot.
     fn invalidate(&mut self, v: ValueId) {
-        self.home.remove(&v);
-        self.copies.remove(&v);
-        self.bank_ready.remove(&v);
-        self.wb_done.remove(&v);
-        if let Some(c) = self.rf_member.remove(&v) {
-            self.rf_used[c] -= self.dfg.value(v).bytes;
+        let vi = v.0 as usize;
+        self.home[vi] = None;
+        self.copies[vi].clear();
+        self.bank_ready[vi] = 0;
+        self.wb_done[vi] = 0;
+        let c = self.rf_member[vi];
+        if c != NONE_U32 {
+            self.rf_member[vi] = NONE_U32;
+            self.rf_used[c as usize] -= self.dfg.value(v).bytes;
         }
     }
 
@@ -463,8 +521,8 @@ impl<'a> CycleScheduler<'a> {
                 self.counters.scratchpad_bytes += bytes;
                 self.counters.hbm_channel_busy_cycles += dur;
                 let done = start + dur + self.arch.hbm_latency_cycles;
-                self.avail.insert(value, done);
-                self.home.insert(value, ComponentId::Bank(bank));
+                self.avail[value.0 as usize] = done;
+                self.home[value.0 as usize] = Some(ComponentId::Bank(bank));
                 self.makespan = self.makespan.max(start + dur);
                 self.finish(nid, 0, 0, done);
             }
@@ -475,8 +533,7 @@ impl<'a> CycleScheduler<'a> {
                     _ => unreachable!(),
                 };
                 let dur = self.arch.mem_channel_cycles(bytes);
-                let ready = self.gate_time[nid as usize]
-                    .max(self.wb_done.get(&value).copied().unwrap_or(0));
+                let ready = self.gate_time[nid as usize].max(self.wb_done[value.0 as usize]);
                 let (ci, start) = self.commit_channel(ready, dur);
                 let bank = (value.0 as usize) % self.arch.scratchpad_banks;
                 self.out.mem.push(MemEntry {
@@ -502,8 +559,7 @@ impl<'a> CycleScheduler<'a> {
                 let MoveEvent::Drop { value, bytes } = self.plan.events[ev as usize] else {
                     unreachable!()
                 };
-                let done = self.gate_time[nid as usize]
-                    .max(self.wb_done.get(&value).copied().unwrap_or(0));
+                let done = self.gate_time[nid as usize].max(self.wb_done[value.0 as usize]);
                 self.out.evict.push(EvictEntry { cycle: done, value, bytes });
                 self.invalidate(value);
                 self.finish(nid, 0, 0, done);
@@ -514,28 +570,28 @@ impl<'a> CycleScheduler<'a> {
     /// Earliest cycle operand `v` could be consumed on cluster `c`
     /// without committing any transfer; `true` if it would be remote.
     fn arrival(&self, v: ValueId, c: usize) -> (u64, bool) {
-        let t0 = self.avail.get(&v).copied().unwrap_or(0);
-        if self.home.get(&v) == Some(&ComponentId::Cluster(c)) {
+        let vi = v.0 as usize;
+        let t0 = self.avail[vi];
+        if self.home[vi] == Some(ComponentId::Cluster(c)) {
             return (t0, false);
         }
-        if let Some(&tc) = self.copies.get(&v).and_then(|m| m.get(&c)) {
+        if let Some(&(_, tc)) = self.copies[vi].iter().find(|&&(cc, _)| cc == c as u32) {
             return (tc, false);
         }
         let from = self.source_of(v);
         let t0 = self.source_ready(v, t0, from);
         let dur = self.arch.net_cycles(self.dfg.value(v).bytes);
         let start = self
-            .net_busy
-            .get(&(from, ComponentId::Cluster(c)))
-            .map(|lanes| lanes.iter().map(|l| l.probe(t0, dur)).min().unwrap())
+            .lanes(from, ComponentId::Cluster(c))
+            .iter()
+            .map(|l| l.probe(t0, dur))
+            .min()
             .unwrap_or(t0);
         (start + XBAR_HOP_CYCLES, true)
     }
 
     fn source_of(&self, v: ValueId) -> ComponentId {
-        self.home
-            .get(&v)
-            .copied()
+        self.home[v.0 as usize]
             .unwrap_or(ComponentId::Bank((v.0 as usize) % self.arch.scratchpad_banks))
     }
 
@@ -543,15 +599,20 @@ impl<'a> CycleScheduler<'a> {
     /// writeback has landed there.
     fn source_ready(&self, v: ValueId, t0: u64, from: ComponentId) -> u64 {
         match from {
-            ComponentId::Bank(_) => t0.max(self.bank_ready.get(&v).copied().unwrap_or(0)),
+            ComponentId::Bank(_) => t0.max(self.bank_ready[v.0 as usize]),
             _ => t0,
         }
     }
 
     fn commit_instr(&mut self, id: u32) {
         let iid = InstrId(id);
-        let instr = self.dfg.instr(iid).clone();
-        let fu = instr.op.fu_type();
+        let (fu, output) = {
+            let instr = self.dfg.instr(iid);
+            self.input_buf.clear();
+            self.input_buf.extend_from_slice(&instr.inputs);
+            (instr.op.fu_type(), instr.output)
+        };
+        let inputs = std::mem::take(&mut self.input_buf);
         let occ = self.arch.occupancy(fu, self.n);
         let weight = stream_weight(self.arch, fu, self.n);
         let lat = self.arch.latency(fu, self.n);
@@ -563,14 +624,15 @@ impl<'a> CycleScheduler<'a> {
         for c in 0..self.arch.clusters {
             let mut ready = base;
             let mut remote = 0u64;
-            for &v in &instr.inputs {
+            for &v in &inputs {
                 let (t, is_remote) = self.arrival(v, c);
                 if is_remote {
                     remote += self.dfg.value(v).bytes;
                 }
                 ready = ready.max(t);
             }
-            let start = self.fu_slots[c][&fu].iter().map(|s| s.probe(ready, occ)).min().unwrap();
+            let start =
+                self.fu_slots[c][fu.index()].iter().map(|s| s.probe(ready, occ)).min().unwrap();
             let key = (start, remote, self.out.compute[c].len(), c);
             if best.map(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)).unwrap_or(true) {
                 best = Some(key);
@@ -580,21 +642,23 @@ impl<'a> CycleScheduler<'a> {
 
         // Commit operand transfers on the chosen cluster.
         let mut ready = base;
-        for &v in &instr.inputs {
-            let t0 = self.avail.get(&v).copied().unwrap_or(0);
-            let t = if self.home.get(&v) == Some(&ComponentId::Cluster(cluster)) {
+        for &v in &inputs {
+            let vi = v.0 as usize;
+            let t0 = self.avail[vi];
+            let t = if self.home[vi] == Some(ComponentId::Cluster(cluster)) {
                 t0
-            } else if let Some(&tc) = self.copies.get(&v).and_then(|m| m.get(&cluster)) {
+            } else if let Some(&(_, tc)) =
+                self.copies[vi].iter().find(|&&(cc, _)| cc == cluster as u32)
+            {
                 tc
             } else {
                 let from = self.source_of(v);
                 let t0 = self.source_ready(v, t0, from);
                 let bytes = self.dfg.value(v).bytes;
                 let dur = self.arch.net_cycles(bytes);
-                let lanes = self
-                    .net_busy
-                    .entry((from, ComponentId::Cluster(cluster)))
-                    .or_insert_with(|| vec![Occupancy::default(); self.arch.xbar_ports.max(1)]);
+                let lane_idx = self.comp_index(from) * self.n_comp
+                    + self.comp_index(ComponentId::Cluster(cluster));
+                let lanes = &mut self.net_busy[lane_idx];
                 let (li, start) = lanes
                     .iter()
                     .enumerate()
@@ -613,30 +677,28 @@ impl<'a> CycleScheduler<'a> {
                 self.counters.noc_bytes += bytes;
                 self.counters.xbar_busy_cycles += dur;
                 let arrive = start + XBAR_HOP_CYCLES;
-                self.copies.entry(v).or_default().insert(cluster, arrive);
+                self.copies[vi].push((cluster as u32, arrive));
                 arrive
             };
             ready = ready.max(t);
             self.counters.rf_bytes += self.dfg.value(v).bytes;
         }
 
-        let (slot, start) = self.fu_slots[cluster]
-            .get(&fu)
-            .unwrap()
+        let (slot, start) = self.fu_slots[cluster][fu.index()]
             .iter()
             .enumerate()
             .map(|(i, s)| (i, s.probe(ready, occ)))
             .min_by_key(|&(i, s)| (s, i))
             .unwrap();
-        self.fu_slots[cluster].get_mut(&fu).unwrap()[slot].commit(start, occ);
+        self.fu_slots[cluster][fu.index()][slot].commit(start, occ);
         self.issue_cycle[id as usize] = start;
         let available = start + weight;
         self.done_cycle[id as usize] = available;
         self.makespan = self.makespan.max(start + occ + lat);
-        self.avail.insert(instr.output, available);
-        self.home.insert(instr.output, ComponentId::Cluster(cluster));
+        self.avail[output.0 as usize] = available;
+        self.home[output.0 as usize] = Some(ComponentId::Cluster(cluster));
         self.counters.add_fu_busy(fu, occ);
-        self.counters.rf_bytes += self.dfg.value(instr.output).bytes;
+        self.counters.rf_bytes += self.dfg.value(output).bytes;
         self.out.compute[cluster].push(ComputeEntry {
             cycle: start,
             instr: iid,
@@ -646,16 +708,16 @@ impl<'a> CycleScheduler<'a> {
 
         // Register-file occupancy: the result claims RF space; overflow
         // re-homes the oldest still-resident values to their bank.
-        let out_bytes = self.dfg.value(instr.output).bytes;
+        let out_bytes = self.dfg.value(output).bytes;
         self.rf_used[cluster] += out_bytes;
-        self.rf_queue[cluster].push_back(instr.output);
-        self.rf_member.insert(instr.output, cluster);
+        self.rf_queue[cluster].push_back(output);
+        self.rf_member[output.0 as usize] = cluster as u32;
         while self.rf_used[cluster] > self.arch.rf_bytes_per_cluster {
             let Some(w) = self.rf_queue[cluster].pop_front() else { break };
-            if self.rf_member.get(&w) != Some(&cluster) {
+            if self.rf_member[w.0 as usize] != cluster as u32 {
                 continue; // already evicted or re-homed
             }
-            if w == instr.output {
+            if w == output {
                 // Never flush the value being produced this cycle.
                 self.rf_queue[cluster].push_front(w);
                 break;
@@ -663,22 +725,22 @@ impl<'a> CycleScheduler<'a> {
             self.rehome(w, cluster);
         }
 
+        self.input_buf = inputs;
         self.finish(id, start + occ, start + occ + lat, available);
     }
 
     /// Writes a register-file-resident value back to its scratchpad bank
     /// over the crossbar; later consumers fetch it from the bank.
     fn rehome(&mut self, w: ValueId, c: usize) {
+        let wi = w.0 as usize;
         let bytes = self.dfg.value(w).bytes;
-        let bank = (w.0 as usize) % self.arch.scratchpad_banks;
+        let bank = wi % self.arch.scratchpad_banks;
         let from = ComponentId::Cluster(c);
         let to = ComponentId::Bank(bank);
         let dur = self.arch.net_cycles(bytes);
-        let t0 = self.avail.get(&w).copied().unwrap_or(0);
-        let lanes = self
-            .net_busy
-            .entry((from, to))
-            .or_insert_with(|| vec![Occupancy::default(); self.arch.xbar_ports.max(1)]);
+        let t0 = self.avail[wi];
+        let lane_idx = self.comp_index(from) * self.n_comp + self.comp_index(to);
+        let lanes = &mut self.net_busy[lane_idx];
         let (li, start) = lanes
             .iter()
             .enumerate()
@@ -691,14 +753,12 @@ impl<'a> CycleScheduler<'a> {
         self.counters.xbar_busy_cycles += dur;
         self.counters.scratchpad_bytes += bytes;
         let landed = start + dur;
-        self.home.insert(w, to);
-        self.bank_ready.insert(w, landed);
-        self.wb_done.insert(w, landed);
-        if let Some(m) = self.copies.get_mut(&w) {
-            m.remove(&c);
-        }
+        self.home[wi] = Some(to);
+        self.bank_ready[wi] = landed;
+        self.wb_done[wi] = landed;
+        self.copies[wi].retain(|&(cc, _)| cc != c as u32);
         self.rf_used[c] -= bytes;
-        self.rf_member.remove(&w);
+        self.rf_member[wi] = NONE_U32;
     }
 }
 
@@ -708,6 +768,7 @@ mod tests {
     use crate::dsl::Program;
     use crate::expand::{expand, ExpandOptions};
     use crate::movement;
+    use std::collections::HashMap;
 
     fn compile(p: &Program, arch: &ArchConfig) -> (Expanded, MovePlan, CycleSchedule) {
         let opts = ExpandOptions { machine: Some(arch.clone()), ..Default::default() };

@@ -52,9 +52,24 @@ pub fn compile(
     program: &Program,
     arch: &f1_arch::ArchConfig,
 ) -> (Expanded, MovePlan, CycleSchedule) {
+    let timing = std::env::var("F1_TIMING").is_ok();
+    let t0 = std::time::Instant::now();
     let opts = ExpandOptions { machine: Some(arch.clone()), ..Default::default() };
     let expanded = expand::expand(program, &opts);
+    let t1 = t0.elapsed();
     let plan = movement::schedule(&expanded, arch);
+    let t2 = t0.elapsed();
     let cycles = cycle::schedule(&expanded, &plan, arch);
+    if timing {
+        eprintln!(
+            "[timing]   expand {:>6.2}s  movement {:>6.2}s  cycle {:>6.2}s  ({} instrs, {} values, {} events)",
+            t1.as_secs_f64(),
+            (t2 - t1).as_secs_f64(),
+            (t0.elapsed() - t2).as_secs_f64(),
+            expanded.dfg.instrs().len(),
+            expanded.dfg.values().len(),
+            plan.events.len()
+        );
+    }
     (expanded, plan, cycles)
 }

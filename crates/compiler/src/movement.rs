@@ -23,7 +23,7 @@
 use f1_arch::ArchConfig;
 use f1_isa::dfg::{Dfg, InstrId, ValueId, ValueKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use crate::expand::Expanded;
 
@@ -213,13 +213,26 @@ struct Scheduler<'a> {
     /// event that freed it (`None` = the initial empty pad). Consuming a
     /// chunk makes its release event a `space_from` donor.
     free_pool: VecDeque<(u64, Option<EventId>)>,
-    residency: HashMap<ValueId, Residency>,
-    dirty: HashSet<ValueId>,
-    resident_set: HashSet<ValueId>,
-    output_set: HashSet<ValueId>,
-    stored_outputs: HashSet<ValueId>,
+    // All per-value state is dense (indexed by ValueId): the scheduler
+    // touches it several times per instruction, and hashing dominated the
+    // pass at full-size benchmark scale. `Option<Residency>` stands in for
+    // the old map's "absent" state.
+    residency: Vec<Option<Residency>>,
+    dirty: Vec<bool>,
+    resident: Vec<bool>,
+    /// Resident values in insertion order (lazily compacted); gives the
+    /// eviction scan a deterministic candidate order, where the old
+    /// hash-set iteration made tie-breaks — and thus whole schedules —
+    /// vary run to run.
+    resident_list: Vec<ValueId>,
+    /// Whether a value currently appears in `resident_list` (entries
+    /// linger after eviction until the next compaction; this flag stops
+    /// evict-then-reload cycles from pushing duplicates).
+    in_list: Vec<bool>,
+    output_set: Vec<bool>,
+    stored_outputs: Vec<bool>,
     /// Per-value cursor into its (priority-ordered) user list.
-    user_cursor: HashMap<ValueId, usize>,
+    user_cursor: Vec<u32>,
     issued: Vec<bool>,
     /// rank[instr] = issue-order key (priority by default, CSR override).
     rank: Vec<u64>,
@@ -229,7 +242,7 @@ struct Scheduler<'a> {
     missing: Vec<usize>,
     /// Pending load requests: min-heap by (earliest-user rank, value).
     pending_loads: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
-    requested: HashSet<ValueId>,
+    requested: Vec<bool>,
     mem_cycle: u64,
     compute_cycle: [f64; 4],
     out: MovePlan,
@@ -259,23 +272,30 @@ impl<'a> Scheduler<'a> {
             }
         }
         let capacity = arch.scratchpad_bytes();
+        let n_values = dfg.values().len();
+        let mut output_set = vec![false; n_values];
+        for &v in dfg.outputs() {
+            output_set[v.0 as usize] = true;
+        }
         Self {
             dfg,
             arch,
             free_bytes: capacity,
             free_pool: VecDeque::from([(capacity, None)]),
-            residency: HashMap::new(),
-            dirty: HashSet::new(),
-            resident_set: HashSet::new(),
-            output_set: dfg.outputs().iter().copied().collect(),
-            stored_outputs: HashSet::new(),
-            user_cursor: HashMap::new(),
+            residency: vec![None; n_values],
+            dirty: vec![false; n_values],
+            resident: vec![false; n_values],
+            resident_list: Vec::new(),
+            in_list: vec![false; n_values],
+            output_set,
+            stored_outputs: vec![false; n_values],
+            user_cursor: vec![0; n_values],
             issued: vec![false; n_instr],
             rank,
             ready,
             missing,
             pending_loads: BinaryHeap::new(),
-            requested: HashSet::new(),
+            requested: vec![false; n_values],
             mem_cycle: 0,
             compute_cycle: [0.0; 4],
             out: MovePlan {
@@ -294,7 +314,7 @@ impl<'a> Scheduler<'a> {
         for v in self.dfg.values() {
             let loadable = matches!(v.kind, ValueKind::Input | ValueKind::KeySwitchHint);
             if loadable {
-                self.residency.insert(v.id, Residency::OffChip);
+                self.residency[v.id.0 as usize] = Some(Residency::OffChip);
                 if !self.dfg.users(v.id).is_empty() {
                     self.request_load(v.id);
                 }
@@ -330,11 +350,13 @@ impl<'a> Scheduler<'a> {
         // scratchpad does not hold would be physically unrealizable, and
         // the checker rejects exactly that.
         for &v in self.dfg.outputs() {
-            if !self.stored_outputs.insert(v) {
+            let vi = v.0 as usize;
+            if self.stored_outputs[vi] {
                 continue;
             }
-            if !self.resident_set.contains(&v) {
-                match self.residency.get(&v) {
+            self.stored_outputs[vi] = true;
+            if !self.resident[vi] {
+                match self.residency[vi] {
                     Some(Residency::OffChip) | Some(Residency::Spilled) => continue,
                     state => panic!("output {v:?} is neither on chip nor in HBM ({state:?})"),
                 }
@@ -399,9 +421,9 @@ impl<'a> Scheduler<'a> {
         const LOOKAHEAD: u64 = 20_000;
         while let Some(&std::cmp::Reverse((_, vid))) = self.pending_loads.peek() {
             let v = ValueId(vid);
-            if self.resident_set.contains(&v) || !self.still_wanted(v) {
+            if self.resident[vid as usize] || !self.still_wanted(v) {
                 self.pending_loads.pop();
-                self.requested.remove(&v);
+                self.requested[vid as usize] = false;
                 continue;
             }
             let have_ready = !self.ready.is_empty();
@@ -420,8 +442,8 @@ impl<'a> Scheduler<'a> {
     fn force_one_load(&mut self) -> bool {
         while let Some(std::cmp::Reverse((_, vid))) = self.pending_loads.pop() {
             let v = ValueId(vid);
-            if self.resident_set.contains(&v) || !self.still_wanted(v) {
-                self.requested.remove(&v);
+            if self.resident[vid as usize] || !self.still_wanted(v) {
+                self.requested[vid as usize] = false;
                 continue;
             }
             let bytes = self.dfg.value(v).bytes;
@@ -437,7 +459,7 @@ impl<'a> Scheduler<'a> {
             self.dfg.producer(v).is_none_or(|p| self.issued[p.0 as usize]),
             "load of unproduced {v:?}"
         );
-        let first_time = self.residency.get(&v) == Some(&Residency::OffChip);
+        let first_time = self.residency[v.0 as usize] == Some(Residency::OffChip);
         let kind = self.dfg.value(v).kind;
         match (kind, first_time) {
             (ValueKind::KeySwitchHint, true) => self.out.traffic.ksh_compulsory += bytes,
@@ -456,7 +478,7 @@ impl<'a> Scheduler<'a> {
             deadline,
             space_from,
         });
-        self.requested.remove(&v);
+        self.requested[v.0 as usize] = false;
         self.mark_resident(v, false);
     }
 
@@ -464,10 +486,15 @@ impl<'a> Scheduler<'a> {
     /// [`Self::take_space`]) and wakes users whose operands are now all
     /// resident.
     fn mark_resident(&mut self, v: ValueId, dirty: bool) {
-        self.resident_set.insert(v);
-        self.residency.insert(v, Residency::Resident);
+        let vi = v.0 as usize;
+        self.resident[vi] = true;
+        if !self.in_list[vi] {
+            self.in_list[vi] = true;
+            self.resident_list.push(v);
+        }
+        self.residency[vi] = Some(Residency::Resident);
         if dirty {
-            self.dirty.insert(v);
+            self.dirty[vi] = true;
         }
         for &u in self.dfg.users(v) {
             let ui = u.0 as usize;
@@ -492,7 +519,7 @@ impl<'a> Scheduler<'a> {
             // Revalidate: an operand may have been evicted since.
             let instr = self.dfg.instr(i);
             let missing: Vec<ValueId> =
-                instr.inputs.iter().copied().filter(|v| !self.resident_set.contains(v)).collect();
+                instr.inputs.iter().copied().filter(|v| !self.resident[v.0 as usize]).collect();
             if missing.is_empty() {
                 self.ready.pop();
                 return Some(i);
@@ -518,33 +545,37 @@ impl<'a> Scheduler<'a> {
     }
 
     fn request_load(&mut self, v: ValueId) {
-        if self.resident_set.contains(&v) || !self.requested.insert(v) {
+        let vi = v.0 as usize;
+        if self.resident[vi] || self.requested[vi] {
             return;
         }
+        self.requested[vi] = true;
         let urgency = self.next_use_rank(v);
         self.pending_loads.push(std::cmp::Reverse((urgency, v.0)));
     }
 
     fn issue(&mut self, i: InstrId) {
-        let instr = self.dfg.instr(i).clone();
+        let instr = self.dfg.instr(i);
+        let fu = instr.op.fu_type();
+        let output = instr.output;
         // Pin operands; account compute time on the FU class.
-        let occ = self.arch.occupancy(instr.op.fu_type(), self.dfg.n) as f64;
-        let fus = (self.arch.fus_per_cluster(instr.op.fu_type()) * self.arch.clusters) as f64;
-        let idx = fu_idx(instr.op.fu_type());
-        self.compute_cycle[idx] += occ / fus;
+        let occ = self.arch.occupancy(fu, self.dfg.n) as f64;
+        let fus = (self.arch.fus_per_cluster(fu) * self.arch.clusters) as f64;
+        self.compute_cycle[fu.index()] += occ / fus;
         // Make room for the result (operands pinned).
-        let bytes = self.dfg.value(instr.output).bytes;
-        let pinned: HashSet<ValueId> = instr.inputs.iter().copied().collect();
-        assert!(self.make_space_pinned(bytes, true, &pinned), "cannot allocate result space");
+        let bytes = self.dfg.value(output).bytes;
+        assert!(self.make_space_pinned(bytes, true, i), "cannot allocate result space");
         let space_from = self.take_space(bytes);
         self.out.events.push(MoveEvent::Issue { instr: i, space_from });
         self.issued[i.0 as usize] = true;
         self.out.order.push(i);
-        self.mark_resident(instr.output, true);
+        self.mark_resident(output, true);
         // Free operands that just died.
-        for &v in &instr.inputs {
+        let n_inputs = self.dfg.instr(i).inputs.len();
+        for k in 0..n_inputs {
+            let v = self.dfg.instr(i).inputs[k];
             self.advance_cursor(v);
-            if self.next_use_rank(v) == u64::MAX && !self.output_set.contains(&v) {
+            if self.next_use_rank(v) == u64::MAX && !self.output_set[v.0 as usize] {
                 self.evict(v, false);
             }
         }
@@ -553,13 +584,13 @@ impl<'a> Scheduler<'a> {
     /// Rank of the next unissued user of `v` (`u64::MAX` if none).
     fn next_use_rank(&mut self, v: ValueId) -> u64 {
         let users = self.dfg.users(v);
-        let cur = self.user_cursor.entry(v).or_insert(0);
-        while *cur < users.len() && self.issued[users[*cur].0 as usize] {
+        let cur = &mut self.user_cursor[v.0 as usize];
+        while (*cur as usize) < users.len() && self.issued[users[*cur as usize].0 as usize] {
             *cur += 1;
         }
         users
             .iter()
-            .skip(*cur)
+            .skip(*cur as usize)
             .filter(|u| !self.issued[u.0 as usize])
             .map(|u| self.rank[u.0 as usize])
             .min()
@@ -568,46 +599,54 @@ impl<'a> Scheduler<'a> {
 
     fn advance_cursor(&mut self, v: ValueId) {
         let users = self.dfg.users(v);
-        let cur = self.user_cursor.entry(v).or_insert(0);
-        while *cur < users.len() && self.issued[users[*cur].0 as usize] {
+        let cur = &mut self.user_cursor[v.0 as usize];
+        while (*cur as usize) < users.len() && self.issued[users[*cur as usize].0 as usize] {
             *cur += 1;
         }
     }
 
     fn make_space(&mut self, bytes: u64, allow_live: bool) -> bool {
-        self.make_space_pinned(bytes, allow_live, &HashSet::new())
+        self.make_space_pinned(bytes, allow_live, InstrId(u32::MAX))
     }
 
     /// Frees at least `bytes`, evicting dead values first, then (if
     /// allowed) the live value with the furthest next use (§4.3's
     /// Belady-style policy). Dead outputs are evictable: their eviction
-    /// doubles as the compulsory output store.
-    fn make_space_pinned(
-        &mut self,
-        bytes: u64,
-        allow_live: bool,
-        pinned: &HashSet<ValueId>,
-    ) -> bool {
+    /// doubles as the compulsory output store. `pinned` names the
+    /// instruction whose operands must stay resident (`u32::MAX` = none).
+    fn make_space_pinned(&mut self, bytes: u64, allow_live: bool, pinned: InstrId) -> bool {
         if self.free_bytes >= bytes {
             return true;
         }
-        // Collect (next_use, value) for every resident candidate. Live
+        // Collect (next_use, value) for every resident candidate, in
+        // deterministic insertion order (compacting the lazy list). Live
         // outputs (still-consumed values marked as outputs) are pinned
         // like any live value until dead.
+        let mut list = std::mem::take(&mut self.resident_list);
+        list.retain(|&v| {
+            let keep = self.resident[v.0 as usize];
+            if !keep {
+                self.in_list[v.0 as usize] = false;
+            }
+            keep
+        });
         let mut candidates: Vec<(u64, ValueId)> = Vec::new();
-        let resident: Vec<ValueId> = self.resident_set.iter().copied().collect();
-        for v in resident {
-            if pinned.contains(&v) {
+        for k in 0..list.len() {
+            let v = list[k];
+            let vi = v.0 as usize;
+            if pinned.0 != u32::MAX && self.dfg.instr(pinned).inputs.contains(&v) {
                 continue;
             }
             let next = self.next_use_rank(v);
-            if self.output_set.contains(&v) && next != u64::MAX {
+            if self.output_set[vi] && next != u64::MAX {
                 continue;
             }
             candidates.push((next, v));
         }
-        // Furthest reuse first (dead values have rank MAX).
-        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+        self.resident_list = list;
+        // Furthest reuse first (dead values have rank MAX); ties broken
+        // by value id so the whole pass stays deterministic.
+        candidates.sort_unstable_by_key(|&(next, v)| (std::cmp::Reverse(next), v.0));
         for (next_use, v) in candidates {
             if self.free_bytes >= bytes {
                 return true;
@@ -621,50 +660,44 @@ impl<'a> Scheduler<'a> {
     }
 
     fn evict(&mut self, v: ValueId, still_needed: bool) {
-        if !self.resident_set.remove(&v) {
+        let vi = v.0 as usize;
+        if !self.resident[vi] {
             return;
         }
+        self.resident[vi] = false;
         let bytes = self.dfg.value(v).bytes;
-        let was_dirty = self.dirty.remove(&v);
+        let was_dirty = self.dirty[vi];
+        self.dirty[vi] = false;
         let eid = self.out.events.len() as EventId;
         if was_dirty && still_needed {
             // Spill store (the later refetch is gated on its completion).
             self.out.traffic.interm_store += bytes;
             self.mem_cycle += self.arch.mem_cycles(bytes);
             self.out.events.push(MoveEvent::SpillStore { value: v, bytes });
-            self.residency.insert(v, Residency::Spilled);
-        } else if was_dirty && self.output_set.contains(&v) && !self.stored_outputs.contains(&v) {
+            self.residency[vi] = Some(Residency::Spilled);
+        } else if was_dirty && self.output_set[vi] && !self.stored_outputs[vi] {
             // Dead output squeezed out: store it now (compulsory anyway).
             self.out.traffic.input_compulsory += bytes;
             self.mem_cycle += self.arch.mem_cycles(bytes);
             self.out.events.push(MoveEvent::OutputStore { value: v, bytes, frees: true });
-            self.stored_outputs.insert(v);
-            self.residency.insert(v, Residency::Spilled);
+            self.stored_outputs[vi] = true;
+            self.residency[vi] = Some(Residency::Spilled);
         } else {
             self.out.events.push(MoveEvent::Drop { value: v, bytes });
-            if !was_dirty && self.residency.get(&v) != Some(&Residency::OffChip) {
+            if !was_dirty && self.residency[vi] != Some(Residency::OffChip) {
                 // Clean copies (loadable values, or intermediates brought
                 // back by a refetch) still exist in HBM; record that so
                 // reloads classify as non-compulsory and final output
                 // stores know nothing on chip needs moving.
-                self.residency.insert(v, Residency::Spilled);
+                self.residency[vi] = Some(Residency::Spilled);
             }
         }
         self.release_space(bytes, eid);
         if still_needed {
             // Users will re-request on revalidation; proactively enqueue.
-            self.requested.remove(&v);
+            self.requested[vi] = false;
             self.request_load(v);
         }
-    }
-}
-
-fn fu_idx(fu: f1_isa::FuType) -> usize {
-    match fu {
-        f1_isa::FuType::Ntt => 0,
-        f1_isa::FuType::Aut => 1,
-        f1_isa::FuType::Mul => 2,
-        f1_isa::FuType::Add => 3,
     }
 }
 
@@ -673,6 +706,7 @@ mod tests {
     use super::*;
     use crate::dsl::Program;
     use crate::expand::{expand, ExpandOptions};
+    use std::collections::HashMap;
 
     fn plan_for(p: &Program, arch: &ArchConfig) -> (Expanded, MovePlan) {
         let ex = expand(p, &ExpandOptions::default());

@@ -8,7 +8,7 @@
 //! both polynomials and key-switches `σ_k(a)`.
 
 use crate::keys::SecretKey;
-use crate::keyswitch::{DecompHint, GhsHint};
+use crate::keyswitch::{DecompHint, GhsHint, KsScratch};
 use crate::params::BgvParams;
 use f1_poly::crt;
 use f1_poly::rns::{Domain, RnsPoly};
@@ -213,12 +213,17 @@ impl KeySet {
     pub fn encrypt_at_level(&self, m: &Plaintext, level: usize, rng: &mut impl Rng) -> Ciphertext {
         let ctx = self.params.context();
         let t = self.params.plaintext_modulus;
-        let a = RnsPoly::random_at_level(ctx, level, rng).to_ntt();
-        let e = RnsPoly::random_error(ctx, level, self.params.error_eta, rng);
-        let m_poly = plaintext_to_poly(m, level, &self.params);
+        let mut a = RnsPoly::random_at_level(ctx, level, rng);
+        a.ntt_inplace();
+        let mut te = RnsPoly::random_error(ctx, level, self.params.error_eta, rng);
+        te.mul_scalar_assign(u32::try_from(t).expect("t fits u32"));
+        te.ntt_inplace();
+        let mut m_poly = plaintext_to_poly(m, level, &self.params);
+        m_poly.ntt_inplace();
         let s = self.sk.s_at_level(level);
-        let te = e.mul_scalar(u32::try_from(t).expect("t fits u32")).to_ntt();
-        let b = a.mul(&s).add(&te).add(&m_poly.to_ntt());
+        let mut b = a.mul(&s);
+        b.add_assign(&te);
+        b.add_assign(&m_poly);
         let noise =
             (t as f64).log2() + (self.params.error_eta as f64 / 2.0).sqrt().log2().max(0.0) + 1.0;
         Ciphertext { a, b, noise_log2: noise, correction: 1, pt_modulus: t }
@@ -427,15 +432,37 @@ impl Ciphertext {
     ///
     /// `ct× = (l2, l1, l0) = (a0a1, a0b1 + a1b0, b0b1)`; `l2` is
     /// key-switched to produce `(u0, u1)` and the result is
-    /// `(l1 + u1, l0 + u0)`.
+    /// `(l1 + u1, l0 + u0)`. One-shot arena; programs evaluating many
+    /// multiplies should hold a [`KsScratch`] and call
+    /// [`Ciphertext::mul_with_scratch`].
     pub fn mul(&self, other: &Self, relin: &DecompHint) -> Self {
-        let l2 = self.a.mul(&other.a);
-        let l1 = self.a.mul(&other.b).add(&other.a.mul(&self.b));
-        let l0 = self.b.mul(&other.b);
-        let (u0, u1) = relin.apply(&l2);
+        self.mul_with_scratch(other, relin, &mut KsScratch::default())
+    }
+
+    /// Homomorphic multiplication reusing a caller-held key-switch scratch
+    /// arena: the tensor products run in place ([`RnsPoly::mul_assign`] /
+    /// [`RnsPoly::fma_assign`]), so steady state allocates only the output
+    /// ciphertext.
+    pub fn mul_with_scratch(
+        &self,
+        other: &Self,
+        relin: &DecompHint,
+        scratch: &mut KsScratch,
+    ) -> Self {
+        let mut l2 = self.a.clone();
+        l2.mul_assign(&other.a);
+        let (u0, u1) = relin.apply_with_scratch(&l2, scratch);
+        // l1 = a0*b1 + a1*b0, then + u1 — fused into one accumulator.
+        let mut a = self.a.clone();
+        a.mul_assign(&other.b);
+        a.fma_assign(&other.a, &self.b);
+        a.add_assign(&u1);
+        let mut b = self.b.clone();
+        b.mul_assign(&other.b);
+        b.add_assign(&u0);
         Self {
-            a: l1.add(&u1),
-            b: l0.add(&u0),
+            a,
+            b,
             noise_log2: self.noise_log2 + other.noise_log2 + (self.a.n() as f64).log2(),
             correction: mul_mod_u64(self.correction, other.correction, self.pt_modulus),
             pt_modulus: self.pt_modulus,
@@ -444,13 +471,19 @@ impl Ciphertext {
 
     /// Homomorphic multiplication using the GHS key-switch variant.
     pub fn mul_ghs(&self, other: &Self, relin: &GhsHint) -> Self {
-        let l2 = self.a.mul(&other.a);
-        let l1 = self.a.mul(&other.b).add(&other.a.mul(&self.b));
-        let l0 = self.b.mul(&other.b);
+        let mut l2 = self.a.clone();
+        l2.mul_assign(&other.a);
         let (u0, u1) = relin.apply(&l2);
+        let mut a = self.a.clone();
+        a.mul_assign(&other.b);
+        a.fma_assign(&other.a, &self.b);
+        a.add_assign(&u1);
+        let mut b = self.b.clone();
+        b.mul_assign(&other.b);
+        b.add_assign(&u0);
         Self {
-            a: l1.add(&u1),
-            b: l0.add(&u0),
+            a,
+            b,
             noise_log2: self.noise_log2 + other.noise_log2 + (self.a.n() as f64).log2(),
             correction: mul_mod_u64(self.correction, other.correction, self.pt_modulus),
             pt_modulus: self.pt_modulus,
@@ -465,15 +498,27 @@ impl Ciphertext {
     /// Homomorphic permutation: automorphism on both polynomials followed
     /// by a key-switch of `σ_k(a)` (§2.2.1). `hint` must target `σ_k(s)`.
     pub fn automorphism(&self, k: usize, hint: &DecompHint) -> Self {
-        let a_s = self.a.automorphism(k);
-        let b_s = self.b.automorphism(k);
+        self.automorphism_with_scratch(k, hint, &mut KsScratch::default())
+    }
+
+    /// [`Ciphertext::automorphism`] reusing a caller-held key-switch arena.
+    pub fn automorphism_with_scratch(
+        &self,
+        k: usize,
+        hint: &DecompHint,
+        scratch: &mut KsScratch,
+    ) -> Self {
+        let mut a_s = self.a.automorphism(k);
+        a_s.neg_assign();
         // Key-switch -σ_k(a): (u0, u1) with u0 - u1*s = -σ(a)σ(s) + tE,
         // so (u1, σ(b) + u0) decrypts to σ(m): b' - a'*s = σ(b) + u0 - u1*s
         // = σ(b) - σ(a)σ(s) + tE = σ(m) + t(σ(e) + E).
-        let (u0, u1) = hint.apply(&a_s.neg());
+        let (u0, u1) = hint.apply_with_scratch(&a_s, scratch);
+        let mut b = self.b.automorphism(k);
+        b.add_assign(&u0);
         Self {
             a: u1,
-            b: b_s.add(&u0),
+            b,
             noise_log2: self.noise_log2 + 2.0,
             correction: self.correction,
             pt_modulus: self.pt_modulus,
@@ -543,18 +588,18 @@ pub fn mod_switch_poly(p: &RnsPoly, t: u64) -> RnsPoly {
     let top_m = *ctx.modulus(top_idx);
     let t_inv_top = if t == 1 { 1 } else { top_m.inv((t % top_m.value() as u64) as u32) };
     let mut out = RnsPoly::zero_at_level(&ctx, l - 1);
+    let top_limb = coeff.limb(top_idx);
     for j in 0..l - 1 {
         let mj = *ctx.modulus(j);
         let q_top_inv = mj.inv((top_m.value() as u64 % mj.value() as u64) as u32);
         let t_red = (t % mj.value() as u64) as u32;
-        let top_limb = coeff.limb(top_idx).clone();
-        let src = coeff.limb(j).clone();
+        let src = coeff.limb(j);
         let dst = out.limb_mut(j);
-        for c in 0..src.len() {
-            let mu = top_m.mul(top_limb[c], t_inv_top);
+        for ((d, &s), &top) in dst.iter_mut().zip(src).zip(top_limb) {
+            let mu = top_m.mul(top, t_inv_top);
             let mu_centered = top_m.center(mu);
             let delta = mj.mul(mj.reduce_i64(mu_centered), t_red);
-            dst[c] = mj.mul(mj.sub(src[c], delta), q_top_inv);
+            *d = mj.mul(mj.sub(s, delta), q_top_inv);
         }
     }
     if p.domain() == Domain::Ntt {

@@ -143,25 +143,19 @@ fn add_gadget(p: &mut RnsPoly, i: usize, mu: u32, ctx: &Arc<RnsContext>) {
 /// Centered lift of limb `i` into all `l` bases, NTT domain (shared shape
 /// with the key-switch lift).
 fn lift_limb_ntt(y: &RnsPoly, i: usize, l: usize, ctx: &Arc<RnsContext>) -> RnsPoly {
-    let n = y.n();
-    let mi = ctx.modulus(i);
+    let mi = *ctx.modulus(i);
     let src = y.limb(i);
     let mut out = RnsPoly::zero_at_level(ctx, l);
-    for j in 0..l {
-        let mj = ctx.modulus(j);
-        {
-            let limb = out.limb_mut(j);
-            for c in 0..n {
-                limb[c] = mj.reduce_i64(mi.center(src[c]));
-            }
+    let tables = ctx.clone();
+    out.for_each_limb_mut(|j, mj, limb| {
+        for (x, &s) in limb.iter_mut().zip(src) {
+            *x = mj.reduce_i64(mi.center(s));
         }
-        ctx.tables(j).forward(out.limb_mut(j));
-    }
-    let mut tagged = RnsPoly::zero_ntt_at_level(ctx, l);
-    for j in 0..l {
-        std::mem::swap(tagged.limb_mut(j), out.limb_mut(j));
-    }
-    tagged
+        tables.tables(j).forward(limb);
+    });
+    // The limbs were filled with NTT-domain data directly.
+    out.assume_domain(Domain::Ntt);
+    out
 }
 
 #[cfg(test)]

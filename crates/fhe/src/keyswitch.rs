@@ -27,9 +27,26 @@
 //!   §2.4 describes.
 
 use crate::keys::SecretKey;
+use f1_modarith::slice_ops;
 use f1_poly::rns::{Domain, RnsContext, RnsPoly};
 use rand::Rng;
 use std::sync::Arc;
+
+/// Reusable scratch buffers for the decomposition key-switch.
+///
+/// [`DecompHint::apply_with_scratch`] needs two working polynomials: the
+/// coefficient-domain copy of the input (`y` in Listing 1) and the lifted
+/// digit being accumulated. Holding them in a caller-owned arena means the
+/// digit-decomposition inner loop of a whole program reuses one pair of
+/// allocations; `Default::default()` starts empty and the buffers are
+/// grown (and re-homed to a new context) on first use.
+#[derive(Debug, Default)]
+pub struct KsScratch {
+    /// Coefficient-domain copy of the key-switch input.
+    y: Option<RnsPoly>,
+    /// The lifted digit polynomial (Listing 1's `xqj` row).
+    lifted: Option<RnsPoly>,
+}
 
 /// Which key-switch implementation to use (the compiler's choice, §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +183,14 @@ impl DecompHint {
         self.level
     }
 
+    /// Read access to hint row `i`: the `(ksh0_i, ksh1_i)` pair (NTT
+    /// domain, `level` limbs each). Exposed for benchmarks and traffic
+    /// analyses.
+    pub fn row(&self, i: usize) -> (&RnsPoly, &RnsPoly) {
+        let (r0, r1) = &self.rows[i];
+        (r0, r1)
+    }
+
     /// A zero-mask, zero-noise hint: `rows[i] = (g_i * target, 0)`.
     /// Test-only scaffolding to isolate the gadget identity
     /// `Σ lift_i ⊙ g_i·target == x·target`.
@@ -193,30 +218,59 @@ impl DecompHint {
 
     /// Applies the key-switch to `x` (NTT domain, level `l <= level`).
     ///
-    /// This is Listing 1: INTT each limb, lift into the other bases,
-    /// NTT back, and accumulate the hint products.
+    /// Convenience wrapper over [`DecompHint::apply_with_scratch`] with a
+    /// one-shot arena.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not in NTT domain or exceeds the hint's level.
     pub fn apply(&self, x: &RnsPoly) -> (RnsPoly, RnsPoly) {
+        self.apply_with_scratch(x, &mut KsScratch::default())
+    }
+
+    /// Applies the key-switch to `x`, reusing `scratch`'s buffers for the
+    /// digit-decomposition inner loop.
+    ///
+    /// This is Listing 1: INTT each limb, lift into the other bases, NTT
+    /// back, and multiply-accumulate the hint products — the lift lands in
+    /// the scratch arena and the accumulation is fused ([`RnsPoly::fma_assign`]
+    /// shape), so steady state allocates only the returned `(u0, u1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in NTT domain or exceeds the hint's level.
+    pub fn apply_with_scratch(&self, x: &RnsPoly, scratch: &mut KsScratch) -> (RnsPoly, RnsPoly) {
         assert_eq!(x.domain(), Domain::Ntt, "key-switch input must be in NTT domain");
         let l = x.level();
         assert!(l <= self.level, "hint level {} below input level {l}", self.level);
         let ctx = x.context().clone();
-        // Line 3 of Listing 1: y = [INTT(x[i])].
-        let y = x.to_coeff();
+        // Line 3 of Listing 1: y = [INTT(x[i])], into the scratch arena.
+        let y = match &mut scratch.y {
+            Some(y) => {
+                y.clone_from(x);
+                y
+            }
+            slot => slot.insert(x.clone()),
+        };
+        y.intt_inplace();
+        let lifted = match &mut scratch.lifted {
+            Some(p) if Arc::ptr_eq(p.context(), &ctx) => p,
+            slot => slot.insert(RnsPoly::zero_at_level(&ctx, l)),
+        };
         let mut u0 = RnsPoly::zero_ntt_at_level(&ctx, l);
-        let mut u1 = u0.clone();
-        for i in 0..l {
+        let mut u1 = RnsPoly::zero_ntt_at_level(&ctx, l);
+        for (i, (row0, row1)) in self.rows.iter().take(l).enumerate() {
             // Lines 7-8: lift limb i into every base (xqj); the j == i case
             // reuses x[i] directly.
-            let lifted = lift_limb(&y, i, l, &ctx, Some(x));
-            let row0 = self.rows[i].0.truncate_level(l);
-            let row1 = self.rows[i].1.truncate_level(l);
-            // Lines 9-10: multiply-accumulate against both hint rows.
-            u0 = u0.add(&lifted.mul(&row0));
-            u1 = u1.add(&lifted.mul(&row1));
+            lift_limb_into(y, i, l, &ctx, Some(x), lifted);
+            // Lines 9-10: multiply-accumulate against both hint rows. Rows
+            // live at the hint's level; reading their first `l` limbs is the
+            // truncation that keeps one hint valid for every lower level.
+            for j in 0..l {
+                let mj = ctx.modulus(j);
+                slice_ops::fma_slice(mj, u0.limb_mut(j), lifted.limb(j), row0.limb(j));
+                slice_ops::fma_slice(mj, u1.limb_mut(j), lifted.limb(j), row1.limb(j));
+            }
         }
         (u0, u1)
     }
@@ -425,55 +479,38 @@ impl GhsHint {
 }
 
 /// Lifts limb `i` of the coefficient-domain polynomial `y` into all `l`
-/// bases via the centered representative, returning an NTT-domain
-/// polynomial (Listing 1 lines 7-8). When `orig` is given, limb `i` is
-/// copied from it verbatim (the `i == j` shortcut of line 8).
-fn lift_limb(
+/// bases via the centered representative, writing an NTT-domain polynomial
+/// into `out` (Listing 1 lines 7-8). When `orig` is given, limb `i` is
+/// copied from it verbatim (the `i == j` shortcut of line 8). The per-base
+/// reductions and NTTs run limb-parallel on large rings.
+fn lift_limb_into(
     y: &RnsPoly,
     i: usize,
     l: usize,
     ctx: &Arc<RnsContext>,
     orig: Option<&RnsPoly>,
-) -> RnsPoly {
-    let n = y.n();
-    let mi = ctx.modulus(i);
+    out: &mut RnsPoly,
+) {
+    let mi = *ctx.modulus(i);
     let src = y.limb(i);
-    let mut out = RnsPoly::zero_at_level(ctx, l);
-    for j in 0..l {
+    // Every coefficient of every limb is written below (copy or
+    // reduce+NTT), so the scratch reshape skips zeroing.
+    out.reshape_for_overwrite(l, Domain::Coefficient);
+    let tables = ctx.clone();
+    out.for_each_limb_mut(|j, mj, limb| {
         if j == i {
             if let Some(o) = orig {
-                out.limb_mut(j).copy_from_slice(o.limb(i));
-                continue;
+                limb.copy_from_slice(o.limb(i));
+                return;
             }
         }
-        let mj = ctx.modulus(j);
-        {
-            let limb = out.limb_mut(j);
-            for c in 0..n {
-                limb[c] = mj.reduce_i64(mi.center(src[c]));
-            }
+        for (x, &s) in limb.iter_mut().zip(src) {
+            *x = mj.reduce_i64(mi.center(s));
         }
-        ctx.tables(j).forward(out.limb_mut(j));
-    }
-    // Mark NTT by rebuilding: construct in coefficient then flip. We filled
-    // NTT data directly, so fix the domain tag by a zero-cost conversion.
-    force_ntt_domain(out)
-}
-
-/// Marks a polynomial whose limbs already hold NTT data as NTT-domain.
-fn force_ntt_domain(mut p: RnsPoly) -> RnsPoly {
-    if p.domain() == Domain::Ntt {
-        return p;
-    }
-    // RnsPoly has no public domain setter; steal the limbs into a fresh
-    // NTT-tagged container (zero-NTT construction costs no transforms).
-    let ctx = p.context().clone();
-    let l = p.level();
-    let mut tagged = RnsPoly::zero_ntt_at_level(&ctx, l);
-    for j in 0..l {
-        std::mem::swap(tagged.limb_mut(j), p.limb_mut(j));
-    }
-    tagged
+        tables.tables(j).forward(limb);
+    });
+    // The limbs were filled with NTT-domain data directly.
+    out.assume_domain(Domain::Ntt);
 }
 
 fn scale_residue(t: u64) -> u32 {
@@ -555,6 +592,32 @@ mod tests {
         let x = RnsPoly::random_at_level(&ctx, 3, &mut rng).to_ntt();
         let out = hint.apply(&x);
         check_keyswitch(&ctx, &sk, &x, &target_full, out, 65537, 60.0);
+    }
+
+    #[test]
+    fn keyswitch_outputs_are_canonical_and_scratch_invariant() {
+        // The fused fma accumulation must leave every residue < q, and a
+        // reused scratch arena must not change results (including across
+        // inputs of different levels).
+        let ctx = RnsContext::for_ring(64, 30, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let target = sk.s_squared_at_level(3);
+        let hint = DecompHint::generate(&sk, &target, 3, 65537, 8, &mut rng);
+        let mut scratch = KsScratch::default();
+        for level in [3usize, 2, 3] {
+            let x = RnsPoly::random_at_level(&ctx, level, &mut rng).to_ntt();
+            let (u0, u1) = hint.apply(&x);
+            let (s0, s1) = hint.apply_with_scratch(&x, &mut scratch);
+            assert_eq!(u0, s0, "scratch reuse changed u0 at level {level}");
+            assert_eq!(u1, s1, "scratch reuse changed u1 at level {level}");
+            for p in [&u0, &u1] {
+                for i in 0..p.level() {
+                    let q = ctx.modulus(i).value();
+                    assert!(p.limb(i).iter().all(|&c| c < q), "residue >= q in limb {i}");
+                }
+            }
+        }
     }
 
     #[test]

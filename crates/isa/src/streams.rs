@@ -27,6 +27,18 @@ pub enum FuType {
 impl FuType {
     /// All FU classes.
     pub const ALL: [FuType; 4] = [FuType::Ntt, FuType::Aut, FuType::Mul, FuType::Add];
+
+    /// Dense index of this class (its position in [`FuType::ALL`]), for
+    /// array-indexed per-FU state in scheduler hot loops.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        match self {
+            FuType::Ntt => 0,
+            FuType::Aut => 1,
+            FuType::Mul => 2,
+            FuType::Add => 3,
+        }
+    }
 }
 
 /// A hardware component with its own instruction stream.

@@ -12,6 +12,9 @@
 //!   Mert et al. [51]) and F1's FHE-friendly multiplier.
 //! * [`primes`] — NTT-friendly and FHE-friendly prime generation plus the
 //!   prime census backing the paper's "6,186 prime moduli" claim (§5.3).
+//! * [`slice_ops`] — batched element-wise kernels (`add_slice`, `mul_slice`,
+//!   `fma_slice`, …): the software analogue of F1's vector FUs, written so
+//!   the compiler can auto-vectorize the hot loops.
 //! * [`cost`] — the structural hardware cost model that regenerates Table 1.
 //! * [`ubig`] — a minimal unsigned big integer used for CRT reconstruction
 //!   of wide-coefficient values (decryption and noise measurement only;
@@ -38,6 +41,7 @@ pub mod cost;
 pub mod modulus;
 pub mod mul;
 pub mod primes;
+pub mod slice_ops;
 pub mod ubig;
 
 pub use cost::{MultiplierCost, MultiplierKind};

@@ -145,17 +145,19 @@ impl Modulus {
     }
 
     /// Reduces a 64-bit value modulo `q` using Barrett reduction.
+    ///
+    /// Valid for `x < 2^63` (every caller reduces sums of at most a few
+    /// residue products, far below that bound). In that range the quotient
+    /// estimate `t = floor(x * mu / 2^64)` with `mu = floor(2^64/q)` is off
+    /// by at most 1, so a single conditional subtract canonicalizes.
     #[inline(always)]
     pub fn reduce_u64(&self, x: u64) -> u32 {
-        // Estimate t = floor(x/q) via the high 64 bits of x * mu, then apply
-        // up to one correction step. With mu = floor(2^64/q) the estimate is
-        // off by at most 1 for x < 2^63.
+        debug_assert!(x < 1 << 63, "reduce_u64 requires x < 2^63, got {x}");
         let t = ((x as u128 * self.barrett_mu as u128) >> 64) as u64;
-        let mut r = x - t * self.q as u64;
-        while r >= self.q as u64 {
-            r -= self.q as u64;
-        }
-        r as u32
+        let r = x - t * self.q as u64;
+        let q = self.q as u64;
+        debug_assert!(r < 2 * q);
+        (if r >= q { r - q } else { r }) as u32
     }
 
     /// Modular exponentiation by squaring.

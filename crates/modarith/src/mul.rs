@@ -148,13 +148,28 @@ impl ShoupMul {
     /// Computes `x * operand mod q` with one high-half multiply.
     #[inline(always)]
     pub fn mul(&self, x: u32, q: u32) -> u32 {
-        let hi = ((x as u64 * self.quotient as u64) >> 32) as u32;
-        let r = (x.wrapping_mul(self.operand)).wrapping_sub(hi.wrapping_mul(q));
+        let r = self.mul_lazy(x, q);
         if r >= q {
             r - q
         } else {
             r
         }
+    }
+
+    /// Harvey's lazy Shoup multiply: returns `x * operand mod q` as a
+    /// representative in `[0, 2q)`, skipping the final conditional subtract.
+    ///
+    /// Correct for *any* `x: u32` (the quotient estimate
+    /// `hi = floor(x * quotient / 2^32)` undershoots the true quotient by
+    /// less than `1 + x/2^32 < 2`, so the remainder lands in `[0, 2q)`; the
+    /// wrapping arithmetic is exact because `2q < 2^32`). This is the
+    /// butterfly primitive of the lazy-reduction NTT kernels.
+    #[inline(always)]
+    pub fn mul_lazy(&self, x: u32, q: u32) -> u32 {
+        let hi = ((x as u64 * self.quotient as u64) >> 32) as u32;
+        let r = (x.wrapping_mul(self.operand)).wrapping_sub(hi.wrapping_mul(q));
+        debug_assert!((r as u64) < 2 * q as u64);
+        r
     }
 }
 

@@ -30,10 +30,19 @@ pub fn assert_valid_exponent(k: usize, n: usize) {
 ///
 /// `out[ik mod N] = ± a[i]`, negated when `ik mod 2N >= N`.
 pub fn apply_coeff(a: &[u32], k: usize, m: &Modulus) -> Vec<u32> {
+    let mut out = vec![0u32; a.len()];
+    apply_coeff_into(a, k, m, &mut out);
+    out
+}
+
+/// [`apply_coeff`] writing into a caller-provided buffer (`out` must not
+/// alias `a`; every index is written exactly once because `σ_k` permutes
+/// indices, so stale contents never leak through).
+pub fn apply_coeff_into(a: &[u32], k: usize, m: &Modulus, out: &mut [u32]) {
     let n = a.len();
     assert!(n.is_power_of_two());
+    assert_eq!(out.len(), n, "output buffer length must equal N");
     assert_valid_exponent(k, n);
-    let mut out = vec![0u32; n];
     let two_n = 2 * n;
     for (i, &v) in a.iter().enumerate() {
         let j2 = (i * k) % two_n;
@@ -43,7 +52,6 @@ pub fn apply_coeff(a: &[u32], k: usize, m: &Modulus) -> Vec<u32> {
             out[j2 - n] = m.neg(v);
         }
     }
-    out
 }
 
 /// Applies `σ_k` to a polynomial in the NTT domain (bit-reversed order, the
@@ -55,20 +63,27 @@ pub fn apply_coeff(a: &[u32], k: usize, m: &Modulus) -> Vec<u32> {
 /// implementations keep ciphertexts in the NTT domain across automorphisms
 /// (§2.3).
 pub fn apply_ntt(a_hat: &[u32], k: usize) -> Vec<u32> {
+    let mut out = vec![0u32; a_hat.len()];
+    apply_ntt_into(a_hat, k, &mut out);
+    out
+}
+
+/// [`apply_ntt`] writing into a caller-provided buffer (`out` must not
+/// alias `a_hat`; every slot is written).
+pub fn apply_ntt_into(a_hat: &[u32], k: usize, out: &mut [u32]) {
     let n = a_hat.len();
     assert!(n.is_power_of_two());
+    assert_eq!(out.len(), n, "output buffer length must equal N");
     assert_valid_exponent(k, n);
     let log_n = n.trailing_zeros();
     let two_n = 2 * n;
-    let mut out = vec![0u32; n];
-    for s in 0..n {
+    for (s, x) in out.iter_mut().enumerate() {
         let i = bit_reverse(s, log_n); // evaluation index of slot s
         let src_eval = (k * (2 * i + 1)) % two_n;
         debug_assert!(src_eval % 2 == 1);
         let j = (src_eval - 1) / 2;
-        out[s] = a_hat[bit_reverse(j, log_n)];
+        *x = a_hat[bit_reverse(j, log_n)];
     }
-    out
 }
 
 /// Applies `σ_k` in coefficient representation through the hardware

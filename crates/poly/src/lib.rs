@@ -16,7 +16,9 @@
 //! * [`transpose`] — the quadrant-swap transpose unit of Fig 7, modeled
 //!   operationally (the same unit serves the NTT and automorphism FUs).
 //! * [`rns`] — RNS contexts and [`rns::RnsPoly`], the `RVec`-of-limbs type
-//!   every F1 instruction operates on.
+//!   every F1 instruction operates on (flat limb-major storage, in-place
+//!   operators).
+//! * [`par`] — scoped-thread limb parallelism for the RNS hot loops.
 //! * [`crt`] — CRT reconstruction of wide coefficients (client-side only).
 //!
 //! # Example
@@ -42,6 +44,7 @@ pub mod automorphism;
 pub mod crt;
 pub mod four_step;
 pub mod ntt;
+pub mod par;
 pub mod rns;
 pub mod transpose;
 

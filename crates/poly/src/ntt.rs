@@ -9,12 +9,29 @@
 //! network with ψ^{-1}-powers merged (Lyubashevsky et al. [49], Pöppelmann
 //! et al. [62], Roy et al. [67] — the same lineage the paper cites).
 //!
-//! The transforms here are the *reference* bit-exact implementations; the
-//! hardware-shaped four-step pipeline of [`crate::four_step`] is validated
-//! against them.
+//! Two implementations share the twiddle tables:
+//!
+//! * [`NttTables::forward_reference`] / [`NttTables::inverse_reference`] —
+//!   the strict transforms, every intermediate canonical (`< q`). These are
+//!   the retained bit-exact oracles.
+//! * [`NttTables::forward`] / [`NttTables::inverse`] — Harvey lazy-reduction
+//!   butterflies: residues are carried in `[0, 2q)` with transient values in
+//!   `[0, 4q)`, twiddle products use the lazy Shoup multiply
+//!   ([`ShoupMul::mul_lazy`], result in `[0, 2q)`), and a single correction
+//!   pass at the end restores canonical residues. Requires `q < 2^30` so
+//!   `4q` fits a `u32` (every paper modulus is ≤ 30 bits); wider moduli fall
+//!   back to the reference kernels. Outputs are bit-identical to the
+//!   reference transforms.
+//!
+//! The hardware-shaped four-step pipeline of [`crate::four_step`] is
+//! validated against the same reference transforms.
 
 use f1_modarith::mul::ShoupMul;
 use f1_modarith::Modulus;
+
+/// Largest modulus the lazy kernels accept: `q < 2^30` keeps `4q - 1`
+/// representable in a `u32`.
+const LAZY_Q_MAX: u32 = 1 << 30;
 
 /// Precomputed twiddle tables for size-`n` negacyclic NTTs modulo one prime.
 ///
@@ -94,13 +111,130 @@ impl NttTables {
 
     /// In-place forward negacyclic NTT (coefficient → NTT domain).
     ///
-    /// Uses the merged-ψ DIT Cooley–Tukey network: `log2 n` stages of
-    /// butterflies, the dataflow F1's NTT FU pipelines (§5.2).
+    /// Dispatches to the Harvey lazy-reduction kernel when the modulus
+    /// leaves `4q` headroom in a `u32` (`q < 2^30`, true for every paper
+    /// modulus) and to [`NttTables::forward_reference`] otherwise. Both
+    /// paths produce identical canonical outputs.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u32]) {
+        if self.modulus.value() < LAZY_Q_MAX {
+            self.forward_lazy(a);
+        } else {
+            self.forward_reference(a);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (NTT → coefficient domain).
+    ///
+    /// Dispatches to the lazy Gentleman–Sande kernel when `q < 2^30`, else
+    /// to [`NttTables::inverse_reference`]. Both paths produce identical
+    /// canonical outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u32]) {
+        if self.modulus.value() < LAZY_Q_MAX {
+            self.inverse_lazy(a);
+        } else {
+            self.inverse_reference(a);
+        }
+    }
+
+    /// Forward NTT with Harvey lazy reduction (requires `q < 2^30`).
+    ///
+    /// Invariant: at each stage every lane holds a representative in
+    /// `[0, 4q)`. The x-lane is folded into `[0, 2q)` by one conditional
+    /// subtract, the twiddle product `v = w * y` comes out of
+    /// [`ShoupMul::mul_lazy`] in `[0, 2q)` for *any* `u32` input, and the
+    /// butterfly writes `x + v < 4q` and `x + 2q - v < 4q`. A final pass of
+    /// two conditional subtracts restores canonical residues — bit-exact
+    /// with [`NttTables::forward_reference`].
+    fn forward_lazy(&self, a: &mut [u32]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring dimension");
+        let q = self.modulus.value();
+        let two_q = 2 * q;
+        let mut t = self.n / 2;
+        let mut m = 1usize;
+        while m < self.n {
+            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
+                let w = &self.fwd_twiddles[m + i];
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = w.mul_lazy(*y, q);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            m *= 2;
+            t /= 2;
+        }
+        for x in a.iter_mut() {
+            let mut r = *x;
+            if r >= two_q {
+                r -= two_q;
+            }
+            if r >= q {
+                r -= q;
+            }
+            *x = r;
+        }
+    }
+
+    /// Inverse NTT with lazy reduction (requires `q < 2^30`).
+    ///
+    /// Invariant: every lane stays in `[0, 2q)` across stages (the sum is
+    /// folded by one conditional subtract; the difference `x + 2q - y < 4q`
+    /// feeds the lazy Shoup multiply, which lands back in `[0, 2q)`). The
+    /// final `n^{-1}` scaling pass uses the fully-reduced Shoup multiply, so
+    /// outputs are canonical and bit-exact with
+    /// [`NttTables::inverse_reference`].
+    fn inverse_lazy(&self, a: &mut [u32]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring dimension");
+        let q = self.modulus.value();
+        let two_q = 2 * q;
+        let mut t = 1usize;
+        let mut m = self.n / 2;
+        while m >= 1 {
+            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
+                let w = &self.inv_twiddles[m + i];
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    *x = s;
+                    *y = w.mul_lazy(u + two_q - v, q);
+                }
+            }
+            m /= 2;
+            t *= 2;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// The strict forward transform: the retained bit-exact oracle.
+    ///
+    /// Uses the merged-ψ DIT Cooley–Tukey network with every intermediate
+    /// kept canonical — the dataflow F1's NTT FU pipelines (§5.2). Works for
+    /// any supported modulus (`q < 2^31`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_reference(&self, a: &mut [u32]) {
         assert_eq!(a.len(), self.n, "input length must equal ring dimension");
         let q = self.modulus.value();
         let mut t = self.n / 2;
@@ -122,15 +256,15 @@ impl NttTables {
         }
     }
 
-    /// In-place inverse negacyclic NTT (NTT → coefficient domain).
+    /// The strict inverse transform: the retained bit-exact oracle.
     ///
     /// Uses the merged-ψ^{-1} DIF Gentleman–Sande network followed by the
-    /// `n^{-1}` scaling.
+    /// `n^{-1}` scaling, every intermediate canonical.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
-    pub fn inverse(&self, a: &mut [u32]) {
+    pub fn inverse_reference(&self, a: &mut [u32]) {
         assert_eq!(a.len(), self.n, "input length must equal ring dimension");
         let q = self.modulus.value();
         let mut t = 1usize;
@@ -161,9 +295,7 @@ impl NttTables {
         let mut fb = b.to_vec();
         self.forward(&mut fa);
         self.forward(&mut fb);
-        for (x, y) in fa.iter_mut().zip(&fb) {
-            *x = self.modulus.mul(*x, *y);
-        }
+        f1_modarith::slice_ops::mul_slice(&self.modulus, &mut fa, &fb);
         self.inverse(&mut fa);
         fa
     }
@@ -311,6 +443,27 @@ mod tests {
                 x_pow = m.mul(x_pow, point);
             }
             assert_eq!(f[i], val, "evaluation mismatch at slot {i}");
+        }
+    }
+
+    #[test]
+    fn lazy_kernels_are_bit_exact_with_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for log_n in [4u32, 8, 11] {
+            let n = 1usize << log_n;
+            let t = tables(n);
+            let q = t.modulus().value();
+            assert!(q < 1 << 30, "paper moduli take the lazy path");
+            let a = random_poly(n, q, &mut rng);
+            let mut lazy = a.clone();
+            let mut strict = a.clone();
+            t.forward(&mut lazy);
+            t.forward_reference(&mut strict);
+            assert_eq!(lazy, strict, "forward n={n}");
+            t.inverse(&mut lazy);
+            t.inverse_reference(&mut strict);
+            assert_eq!(lazy, strict, "inverse n={n}");
+            assert_eq!(lazy, a, "roundtrip n={n}");
         }
     }
 

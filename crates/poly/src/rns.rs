@@ -7,7 +7,8 @@
 
 use crate::automorphism;
 use crate::ntt::NttTables;
-use f1_modarith::{primes, Modulus, UBig};
+use crate::par::par_limbs;
+use f1_modarith::{primes, slice_ops, Modulus, UBig};
 use rand::distributions::Distribution;
 use rand::Rng;
 use std::fmt;
@@ -16,7 +17,9 @@ use std::sync::Arc;
 /// One residue polynomial: `N` coefficients modulo a single 32-bit prime.
 ///
 /// This is the paper's `RVec` — the unit of data F1 instructions consume
-/// (64 KB at `N = 16K`).
+/// (64 KB at `N = 16K`). [`RnsPoly`] stores its limbs contiguously in one
+/// flat allocation; owned `ResiduePoly` values appear only at API edges
+/// (kernel outputs, test fixtures).
 pub type ResiduePoly = Vec<u32>;
 
 /// Which representation a polynomial's limbs are currently in.
@@ -149,12 +152,38 @@ impl RnsContext {
 }
 
 /// An RNS polynomial: `level` residue limbs over a shared context.
-#[derive(Clone)]
+///
+/// Storage is a single flat limb-major `Vec<u32>`: limb `i` occupies
+/// `[i*N, (i+1)*N)`. One allocation per polynomial keeps steady-state FHE
+/// ops allocation-free when combined with the in-place operators
+/// ([`RnsPoly::add_assign`], [`RnsPoly::mul_assign`], [`RnsPoly::fma_assign`],
+/// …) and lets [`RnsPoly::clone_from`] reuse a scratch buffer.
 pub struct RnsPoly {
     ctx: Arc<RnsContext>,
     level: usize,
     domain: Domain,
-    limbs: Vec<ResiduePoly>,
+    /// Flat limb-major coefficient storage, `level * n` residues.
+    data: Vec<u32>,
+}
+
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        Self {
+            ctx: self.ctx.clone(),
+            level: self.level,
+            domain: self.domain,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Clones `src` into `self`, reusing `self`'s allocation when it has
+    /// capacity — the scratch-buffer idiom of the key-switch hot path.
+    fn clone_from(&mut self, src: &Self) {
+        self.ctx = src.ctx.clone();
+        self.level = src.level;
+        self.domain = src.domain;
+        self.data.clone_from(&src.data);
+    }
 }
 
 impl fmt::Debug for RnsPoly {
@@ -169,7 +198,7 @@ impl fmt::Debug for RnsPoly {
 
 impl PartialEq for RnsPoly {
     fn eq(&self, other: &Self) -> bool {
-        self.level == other.level && self.domain == other.domain && self.limbs == other.limbs
+        self.level == other.level && self.domain == other.domain && self.data == other.data
     }
 }
 impl Eq for RnsPoly {}
@@ -183,12 +212,7 @@ impl RnsPoly {
     /// The all-zero polynomial at a given level, in coefficient domain.
     pub fn zero_at_level(ctx: &Arc<RnsContext>, level: usize) -> Self {
         assert!(level >= 1 && level <= ctx.max_level());
-        Self {
-            ctx: ctx.clone(),
-            level,
-            domain: Domain::Coefficient,
-            limbs: vec![vec![0; ctx.n]; level],
-        }
+        Self { ctx: ctx.clone(), level, domain: Domain::Coefficient, data: vec![0; level * ctx.n] }
     }
 
     /// The all-zero polynomial at a given level, pre-tagged as NTT domain
@@ -207,7 +231,7 @@ impl RnsPoly {
     /// A uniformly random polynomial at the given level.
     pub fn random_at_level(ctx: &Arc<RnsContext>, level: usize, rng: &mut impl Rng) -> Self {
         let mut p = Self::zero_at_level(ctx, level);
-        for (i, limb) in p.limbs.iter_mut().enumerate() {
+        for (i, limb) in p.data.chunks_exact_mut(ctx.n).enumerate() {
             let q = ctx.moduli[i].value();
             for x in limb.iter_mut() {
                 *x = rng.gen_range(0..q);
@@ -221,7 +245,7 @@ impl RnsPoly {
     pub fn from_signed_coeffs(ctx: &Arc<RnsContext>, level: usize, coeffs: &[i64]) -> Self {
         assert_eq!(coeffs.len(), ctx.n);
         let mut p = Self::zero_at_level(ctx, level);
-        for (i, limb) in p.limbs.iter_mut().enumerate() {
+        for (i, limb) in p.data.chunks_exact_mut(ctx.n).enumerate() {
             let m = &ctx.moduli[i];
             for (x, &c) in limb.iter_mut().zip(coeffs) {
                 *x = m.reduce_i64(c);
@@ -235,7 +259,7 @@ impl RnsPoly {
     pub fn from_u64_coeffs(ctx: &Arc<RnsContext>, level: usize, coeffs: &[u64]) -> Self {
         assert_eq!(coeffs.len(), ctx.n);
         let mut p = Self::zero_at_level(ctx, level);
-        for (i, limb) in p.limbs.iter_mut().enumerate() {
+        for (i, limb) in p.data.chunks_exact_mut(ctx.n).enumerate() {
             let q = ctx.moduli[i].value() as u64;
             for (x, &c) in limb.iter_mut().zip(coeffs) {
                 *x = (c % q) as u32;
@@ -279,14 +303,68 @@ impl RnsPoly {
         self.ctx.n
     }
 
-    /// Read access to limb `i`.
-    pub fn limb(&self, i: usize) -> &ResiduePoly {
-        &self.limbs[i]
+    /// Read access to limb `i` (an `N`-element slice of the flat storage).
+    pub fn limb(&self, i: usize) -> &[u32] {
+        assert!(i < self.level, "limb {i} out of range for level {}", self.level);
+        let n = self.ctx.n;
+        &self.data[i * n..(i + 1) * n]
     }
 
     /// Mutable access to limb `i` (for kernel implementations).
-    pub fn limb_mut(&mut self, i: usize) -> &mut ResiduePoly {
-        &mut self.limbs[i]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u32] {
+        assert!(i < self.level, "limb {i} out of range for level {}", self.level);
+        let n = self.ctx.n;
+        &mut self.data[i * n..(i + 1) * n]
+    }
+
+    /// The flat limb-major storage (`level * n` residues, limb `i` at
+    /// `[i*n, (i+1)*n)`) — the layout HBM transfers and the scratchpad
+    /// model assume.
+    pub fn flat(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Applies `f(limb_index, modulus, limb_slice)` to every limb, using
+    /// limb-level threads when the polynomial is large enough to pay for
+    /// them (see [`crate::par::par_limbs`]). Results are bit-identical to
+    /// the serial loop; `f` only needs `Sync` captures.
+    pub fn for_each_limb_mut<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &Modulus, &mut [u32]) + Sync,
+    {
+        let ctx = self.ctx.clone();
+        par_limbs(&mut self.data, ctx.n, |i, limb| f(i, &ctx.moduli[i], limb));
+    }
+
+    /// Re-tags the representation without transforming the data.
+    ///
+    /// For kernels that fill limbs with data already in the target
+    /// representation (e.g. the key-switch lift writes NTT-domain residues
+    /// directly); the caller asserts the tag is truthful.
+    pub fn assume_domain(&mut self, domain: Domain) {
+        self.domain = domain;
+    }
+
+    /// Reshapes this polynomial in place into the all-zero polynomial at
+    /// `level` limbs with the given domain tag, reusing the allocation.
+    pub fn reset_zero(&mut self, level: usize, domain: Domain) {
+        assert!(level >= 1 && level <= self.ctx.max_level());
+        self.data.clear();
+        self.data.resize(level * self.ctx.n, 0);
+        self.level = level;
+        self.domain = domain;
+    }
+
+    /// Reshapes this polynomial to `level` limbs with the given domain tag
+    /// *without* zeroing: existing residues are unspecified (but
+    /// initialized) until the caller overwrites them. For scratch buffers
+    /// whose every element is about to be written — skips the `O(level*n)`
+    /// memset [`RnsPoly::reset_zero`] pays.
+    pub fn reshape_for_overwrite(&mut self, level: usize, domain: Domain) {
+        assert!(level >= 1 && level <= self.ctx.max_level());
+        self.data.resize(level * self.ctx.n, 0);
+        self.level = level;
+        self.domain = domain;
     }
 
     /// Size of this polynomial in bytes (4 bytes per coefficient residue) —
@@ -309,25 +387,23 @@ impl RnsPoly {
         out
     }
 
-    /// In-place forward NTT on every limb.
+    /// In-place forward NTT on every limb (limb-parallel when large).
     pub fn ntt_inplace(&mut self) {
         if self.domain == Domain::Ntt {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            self.ctx.tables[i].forward(limb);
-        }
+        let ctx = self.ctx.clone();
+        par_limbs(&mut self.data, ctx.n, |i, limb| ctx.tables[i].forward(limb));
         self.domain = Domain::Ntt;
     }
 
-    /// In-place inverse NTT on every limb.
+    /// In-place inverse NTT on every limb (limb-parallel when large).
     pub fn intt_inplace(&mut self) {
         if self.domain == Domain::Coefficient {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            self.ctx.tables[i].inverse(limb);
-        }
+        let ctx = self.ctx.clone();
+        par_limbs(&mut self.data, ctx.n, |i, limb| ctx.tables[i].inverse(limb));
         self.domain = Domain::Coefficient;
     }
 
@@ -339,40 +415,53 @@ impl RnsPoly {
 
     /// Element-wise sum (valid in either domain; NTT is linear, §2.3).
     pub fn add(&self, other: &Self) -> Self {
-        self.assert_compatible(other);
         let mut out = self.clone();
-        for i in 0..self.level {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in out.limbs[i].iter_mut().zip(&other.limbs[i]) {
-                *x = m.add(*x, y);
-            }
-        }
+        out.add_assign(other);
         out
+    }
+
+    /// In-place element-wise sum: `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        let n = self.ctx.n;
+        for (i, (dst, src)) in
+            self.data.chunks_exact_mut(n).zip(other.data.chunks_exact(n)).enumerate()
+        {
+            slice_ops::add_slice(&other.ctx.moduli[i], dst, src);
+        }
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Self) -> Self {
-        self.assert_compatible(other);
         let mut out = self.clone();
-        for i in 0..self.level {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in out.limbs[i].iter_mut().zip(&other.limbs[i]) {
-                *x = m.sub(*x, y);
-            }
-        }
+        out.sub_assign(other);
         out
+    }
+
+    /// In-place element-wise difference: `self -= other`.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.assert_compatible(other);
+        let n = self.ctx.n;
+        for (i, (dst, src)) in
+            self.data.chunks_exact_mut(n).zip(other.data.chunks_exact(n)).enumerate()
+        {
+            slice_ops::sub_slice(&other.ctx.moduli[i], dst, src);
+        }
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
         let mut out = self.clone();
-        for i in 0..self.level {
-            let m = &self.ctx.moduli[i];
-            for x in out.limbs[i].iter_mut() {
-                *x = m.neg(*x);
-            }
-        }
+        out.neg_assign();
         out
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        let ctx = self.ctx.clone();
+        for (i, dst) in self.data.chunks_exact_mut(ctx.n).enumerate() {
+            slice_ops::neg_slice(&ctx.moduli[i], dst);
+        }
     }
 
     /// Element-wise product. Both operands must be in the NTT domain
@@ -382,55 +471,105 @@ impl RnsPoly {
     ///
     /// Panics if either operand is in coefficient representation.
     pub fn mul(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// In-place element-wise product: `self *= other` (NTT domain only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient representation.
+    pub fn mul_assign(&mut self, other: &Self) {
         assert_eq!(self.domain, Domain::Ntt, "mul requires NTT domain");
         self.assert_compatible(other);
-        let mut out = self.clone();
-        for i in 0..self.level {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in out.limbs[i].iter_mut().zip(&other.limbs[i]) {
-                *x = m.mul(*x, y);
-            }
+        let n = self.ctx.n;
+        for (i, (dst, src)) in
+            self.data.chunks_exact_mut(n).zip(other.data.chunks_exact(n)).enumerate()
+        {
+            slice_ops::mul_slice(&other.ctx.moduli[i], dst, src);
         }
-        out
+    }
+
+    /// In-place multiply-accumulate: `self += a * b` element-wise, all
+    /// three in the NTT domain — the key-switch/tensor inner loop, fused so
+    /// no product temporary is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is in coefficient representation.
+    pub fn fma_assign(&mut self, a: &Self, b: &Self) {
+        assert_eq!(self.domain, Domain::Ntt, "fma requires NTT domain");
+        self.assert_compatible(a);
+        self.assert_compatible(b);
+        let n = self.ctx.n;
+        for (i, (acc, (sa, sb))) in self
+            .data
+            .chunks_exact_mut(n)
+            .zip(a.data.chunks_exact(n).zip(b.data.chunks_exact(n)))
+            .enumerate()
+        {
+            slice_ops::fma_slice(&a.ctx.moduli[i], acc, sa, sb);
+        }
     }
 
     /// Multiplies every coefficient by a small scalar.
     pub fn mul_scalar(&self, s: u32) -> Self {
         let mut out = self.clone();
-        for i in 0..self.level {
-            let m = &self.ctx.moduli[i];
-            let sr = s % m.value();
-            for x in out.limbs[i].iter_mut() {
-                *x = m.mul(*x, sr);
-            }
-        }
+        out.mul_scalar_assign(s);
         out
+    }
+
+    /// In-place scalar multiply (per-limb Shoup constant hoisted).
+    pub fn mul_scalar_assign(&mut self, s: u32) {
+        let ctx = self.ctx.clone();
+        for (i, dst) in self.data.chunks_exact_mut(ctx.n).enumerate() {
+            slice_ops::scalar_mul_slice(&ctx.moduli[i], dst, s);
+        }
     }
 
     /// Applies automorphism `σ_k` (domain-aware: a permutation in the NTT
     /// domain, an index-remap with signs in the coefficient domain).
     pub fn automorphism(&self, k: usize) -> Self {
         let mut out = self.clone();
-        for i in 0..self.level {
-            out.limbs[i] = match self.domain {
-                Domain::Coefficient => {
-                    automorphism::apply_coeff(&self.limbs[i], k, &self.ctx.moduli[i])
-                }
-                Domain::Ntt => automorphism::apply_ntt(&self.limbs[i], k),
-            };
-        }
+        self.automorphism_into(k, &mut out);
         out
+    }
+
+    /// Applies `σ_k`, writing into `out` (reshaped to match `self`). The
+    /// borrow rules guarantee `out` is not `self`, which the permutation
+    /// scatter requires.
+    pub fn automorphism_into(&self, k: usize, out: &mut Self) {
+        assert!(Arc::ptr_eq(&self.ctx, &out.ctx), "polynomials from different contexts");
+        out.level = self.level;
+        out.domain = self.domain;
+        out.data.resize(self.data.len(), 0);
+        let n = self.ctx.n;
+        for (i, (dst, src)) in
+            out.data.chunks_exact_mut(n).zip(self.data.chunks_exact(n)).enumerate()
+        {
+            match self.domain {
+                Domain::Coefficient => {
+                    automorphism::apply_coeff_into(src, k, &self.ctx.moduli[i], dst)
+                }
+                Domain::Ntt => automorphism::apply_ntt_into(src, k, dst),
+            }
+        }
     }
 
     /// Truncates to the first `new_level` limbs (plain limb drop — callers
     /// implementing modulus switching must apply the divide-and-round
-    /// correction themselves; see `f1-fhe`).
+    /// correction themselves; see `f1-fhe`). With limb-major storage this
+    /// is a copy of the surviving prefix, no per-limb allocations.
     pub fn truncate_level(&self, new_level: usize) -> Self {
         assert!(new_level >= 1 && new_level <= self.level);
-        let mut out = self.clone();
-        out.limbs.truncate(new_level);
-        out.level = new_level;
-        out
+        Self {
+            ctx: self.ctx.clone(),
+            level: new_level,
+            domain: self.domain,
+            data: self.data[..new_level * self.ctx.n].to_vec(),
+        }
     }
 
     /// Extends this polynomial's RNS basis from its current level to
@@ -451,26 +590,22 @@ impl RnsPoly {
             return self.clone();
         }
         let mut out = self.clone();
+        out.data.resize(target_level * self.ctx.n, 0);
+        out.level = target_level;
         // Exact CRT lift per coefficient: reconstruct the centered value
         // and reduce into the new limbs. Exactness matters for key-switch
         // correctness tests; production RNS systems use the same math in
         // floating-point-assisted form.
         let lvl = self.ctx.crt_level(self.level);
         for j in self.level..target_level {
-            let mj = &self.ctx.moduli[j];
-            let q_mod = lvl.q_big.rem_u64(mj.value() as u64) as u32;
-            let mut limb = vec![0u32; self.ctx.n];
-            for c in 0..self.ctx.n {
+            let mj = *self.ctx.modulus(j);
+            let limb = out.limb_mut(j);
+            for (c, x) in limb.iter_mut().enumerate() {
                 let (neg, mag) = crate::crt::reconstruct_centered_coeff(self, c, lvl);
                 let r = (mag.rem_u64(mj.value() as u64)) as u32;
-                limb[c] = if neg { mj.neg(r) } else { r };
-                // Equivalent up to sign handling of reducing (value mod Q) - note
-                // the centered lift keeps the lifted value's magnitude <= Q/2.
-                let _ = q_mod;
+                *x = if neg { mj.neg(r) } else { r };
             }
-            out.limbs.push(limb);
         }
-        out.level = target_level;
         out
     }
 }
@@ -553,7 +688,7 @@ mod tests {
     fn mul_rejects_coefficient_domain() {
         let c = ctx();
         let a = RnsPoly::zero(&c);
-        let _ = a.mul(&a.clone());
+        let _ = a.mul(&a);
     }
 
     #[test]

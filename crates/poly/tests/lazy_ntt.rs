@@ -1,0 +1,153 @@
+//! Differential and canonicality tests for the lazy-reduction NTT kernels.
+//!
+//! The lazy kernels carry residues in `[0, 2q)`/`[0, 4q)` internally, so
+//! two things must hold at every public boundary: (1) outputs are
+//! bit-exact with the retained strict reference transforms, and (2) no
+//! public API ever returns a residue `>= q` (the correction pass cannot
+//! be skipped or half-applied).
+
+use f1_modarith::{primes, Modulus};
+use f1_poly::ntt::NttTables;
+use f1_poly::rns::{RnsContext, RnsPoly};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// A 30-bit FHE-friendly prime (`q ≡ 1 mod 2^16`): NTT-friendly for every
+/// supported ring and the class F1's multiplier is specialized for.
+fn fhe_friendly_modulus() -> Modulus {
+    let q = primes::fhe_friendly_primes(30, 1)[0];
+    let m = Modulus::new(q);
+    assert!(m.is_fhe_friendly());
+    m
+}
+
+/// A 30-bit prime that is NTT-friendly for ring `n` but *not* in the
+/// FHE-friendly class — exercises the lazy kernels on the other prime
+/// family the multiplier census distinguishes.
+fn merely_ntt_friendly_modulus(n: usize) -> Modulus {
+    let qs = primes::ntt_friendly_primes(n, 30, 24);
+    let q = qs
+        .into_iter()
+        .find(|&q| q & 0xFFFF != 1)
+        .expect("a non-FHE-friendly NTT prime exists among 24 candidates");
+    let m = Modulus::new(q);
+    assert!(!m.is_fhe_friendly());
+    m
+}
+
+fn random_poly(n: usize, q: u32, rng: &mut impl Rng) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+/// Bit-exactness of the lazy forward/inverse kernels against the strict
+/// reference transforms: every supported ring dimension (2^10..2^14, the
+/// paper's range) plus sub-paper sizes, both prime families, several
+/// random polynomials each.
+#[test]
+fn lazy_matches_reference_all_supported_n_and_prime_families() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x1a2);
+    for log_n in [3u32, 6, 10, 11, 12, 13, 14] {
+        let n = 1usize << log_n;
+        let mut moduli = vec![fhe_friendly_modulus()];
+        let nttf = merely_ntt_friendly_modulus(n);
+        if nttf.value() != moduli[0].value() {
+            moduli.push(nttf);
+        }
+        for m in moduli {
+            let t = NttTables::new(n, m);
+            let q = m.value();
+            for _ in 0..3 {
+                let a = random_poly(n, q, &mut rng);
+                let mut lazy = a.clone();
+                let mut strict = a.clone();
+                t.forward(&mut lazy);
+                t.forward_reference(&mut strict);
+                assert_eq!(lazy, strict, "forward n={n} q={q}");
+                assert!(lazy.iter().all(|&x| x < q), "forward canonical n={n} q={q}");
+                t.inverse(&mut lazy);
+                t.inverse_reference(&mut strict);
+                assert_eq!(lazy, strict, "inverse n={n} q={q}");
+                assert_eq!(lazy, a, "roundtrip n={n} q={q}");
+            }
+        }
+    }
+}
+
+/// Canonicality sweep across the `RnsPoly` public surface: every operator
+/// that hands residues back to the caller must return values `< q` on
+/// every limb.
+#[test]
+fn rns_public_api_returns_canonical_residues() {
+    let ctx = RnsContext::for_ring(128, 30, 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCA1);
+    let a = RnsPoly::random(&ctx, &mut rng);
+    let b = RnsPoly::random(&ctx, &mut rng);
+    let assert_canonical = |p: &RnsPoly, what: &str| {
+        for i in 0..p.level() {
+            let q = p.context().modulus(i).value();
+            assert!(p.limb(i).iter().all(|&x| x < q), "{what}: limb {i} has residue >= q");
+        }
+    };
+    assert_canonical(&a, "random");
+    assert_canonical(&a.add(&b), "add");
+    assert_canonical(&a.sub(&b), "sub");
+    assert_canonical(&a.neg(), "neg");
+    assert_canonical(&a.to_ntt(), "to_ntt");
+    assert_canonical(&a.to_ntt().to_coeff(), "to_coeff");
+    assert_canonical(&a.to_ntt().mul(&b.to_ntt()), "mul");
+    assert_canonical(&a.mul_scalar(u32::MAX), "mul_scalar");
+    assert_canonical(&a.automorphism(5), "automorphism(coeff)");
+    assert_canonical(&a.to_ntt().automorphism(5), "automorphism(ntt)");
+    assert_canonical(&a.truncate_level(2), "truncate_level");
+    assert_canonical(&a.truncate_level(2).extend_basis(3), "extend_basis");
+    let mut acc = RnsPoly::zero_ntt_at_level(&ctx, 3);
+    acc.fma_assign(&a.to_ntt(), &b.to_ntt());
+    assert_canonical(&acc, "fma_assign");
+    let mut c = a.clone();
+    c.add_assign(&b);
+    c.sub_assign(&a);
+    c.neg_assign();
+    c.mul_scalar_assign(7);
+    assert_canonical(&c, "in-place chain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-poly differential pinning at a fixed mid-size ring, both
+    /// prime families, driven by the proptest harness.
+    #[test]
+    fn lazy_forward_inverse_bit_exact(seed in 0u64..1 << 48) {
+        let n = 256usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for m in [fhe_friendly_modulus(), merely_ntt_friendly_modulus(n)] {
+            let t = NttTables::new(n, m);
+            let a = random_poly(n, m.value(), &mut rng);
+            let mut lazy = a.clone();
+            let mut strict = a.clone();
+            t.forward(&mut lazy);
+            t.forward_reference(&mut strict);
+            prop_assert_eq!(&lazy, &strict);
+            t.inverse(&mut lazy);
+            t.inverse_reference(&mut strict);
+            prop_assert_eq!(&lazy, &strict);
+            prop_assert_eq!(&lazy, &a);
+        }
+    }
+
+    /// The negacyclic product of the lazy pipeline stays bit-exact with
+    /// the schoolbook oracle (and canonical).
+    #[test]
+    fn lazy_negacyclic_mul_matches_schoolbook(seed in 0u64..1 << 48) {
+        let n = 64usize;
+        let m = fhe_friendly_modulus();
+        let t = NttTables::new(n, m);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = random_poly(n, m.value(), &mut rng);
+        let b = random_poly(n, m.value(), &mut rng);
+        let got = t.negacyclic_mul(&a, &b);
+        let want = f1_poly::ntt::negacyclic_mul_schoolbook(&a, &b, &m);
+        prop_assert_eq!(&got, &want);
+        prop_assert!(got.iter().all(|&x| x < m.value()));
+    }
+}

@@ -12,10 +12,43 @@
 
 use f1_compiler::dsl::{HomOp, Program};
 use f1_fhe::bgv::{KeySet, Plaintext};
+use f1_fhe::keyswitch::KsScratch;
 use f1_fhe::params::BgvParams;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Memo key: `(measure_n, op kind, level)`.
+type CostKey = (usize, &'static str, usize);
+
+/// Process-wide memo of measured per-op costs, keyed by
+/// `(measure_n, kind, level)`. Benchmark programs overlap heavily in the
+/// `(kind, level)` pairs they use, so one Table-3 run measures each pair
+/// once instead of once per benchmark.
+fn cost_cache() -> &'static Mutex<HashMap<CostKey, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<CostKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide memo of the measured multicore scaling factor per
+/// `measure_n`.
+fn speedup_cache() -> &'static Mutex<HashMap<usize, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Sample-count knob for the per-op measurements: `F1_BASELINE_REPS` sets
+/// the repetition count for the heavy ops (`mul`, `aut`); light ops run
+/// `2*reps + 1` times. The default of 2 reproduces the historical sample
+/// counts (2 heavy / 5 light); raise it for tighter estimates.
+fn baseline_reps() -> usize {
+    std::env::var("F1_BASELINE_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(2)
+}
 
 /// Measured per-operation CPU costs at one `(N, L)` point.
 #[derive(Debug, Clone)]
@@ -43,6 +76,11 @@ impl CpuBaseline {
     /// uses, on a reduced-but-real instance: the ring dimension is
     /// `measure_n` (costs scale as `N log N`, which we apply analytically
     /// and report).
+    ///
+    /// Measurements are memoized process-wide by `(measure_n, kind,
+    /// level)`, so a Table-3 run over many benchmarks measures each pair
+    /// (and the multicore scaling factor) exactly once. `F1_BASELINE_REPS`
+    /// controls the sample count (default 2 heavy / 5 light reps).
     pub fn measure(program: &Program, measure_n: usize) -> Self {
         let mut needed: Vec<(&'static str, usize)> = Vec::new();
         for (i, op) in program.ops().iter().enumerate() {
@@ -55,45 +93,75 @@ impl CpuBaseline {
                 }
             }
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA5E);
-        let max_level = needed.iter().map(|&(_, l)| l).max().unwrap_or(1);
-        let params = BgvParams::test_small(measure_n, max_level);
-        let mut keys = KeySet::generate(&params, &mut rng);
-        keys.add_rotation_hint(3, &mut rng);
-        let m = Plaintext::from_coeffs(&params, &[5, 7, 11]);
         let mut costs = HashMap::new();
-        for (k, lvl) in needed {
-            let ct = keys.encrypt_at_level(&m, lvl, &mut rng);
-            let reps = if k == "mul" || k == "aut" { 2 } else { 5 };
-            let start = Instant::now();
-            for _ in 0..reps {
-                match k {
-                    "add" => {
-                        let _ = ct.add(&ct);
-                    }
-                    "mul" => {
-                        let _ = ct.mul(&ct, keys.relin_hint());
-                    }
-                    "mul_plain" => {
-                        let _ = ct.mul_plain(&m, &params);
-                    }
-                    "aut" => {
-                        let _ = ct.automorphism(3, keys.rotation_hint(3));
-                    }
-                    "mod_switch" => {
-                        if lvl >= 2 {
-                            let _ = ct.mod_switch_down();
+        let missing: Vec<(&'static str, usize)> = {
+            let cache = cost_cache().lock().unwrap();
+            needed
+                .iter()
+                .filter(|&&(k, lvl)| !cache.contains_key(&(measure_n, k, lvl)))
+                .copied()
+                .collect()
+        };
+        let speedup_known = speedup_cache().lock().unwrap().contains_key(&measure_n);
+        if !missing.is_empty() || !speedup_known {
+            // Key generation is itself expensive, so it only happens when
+            // at least one pair (or the scaling factor) is unmeasured.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xBA5E);
+            let max_level = needed.iter().map(|&(_, l)| l).max().unwrap_or(1);
+            let params = BgvParams::test_small(measure_n, max_level);
+            let mut keys = KeySet::generate(&params, &mut rng);
+            keys.add_rotation_hint(3, &mut rng);
+            let m = Plaintext::from_coeffs(&params, &[5, 7, 11]);
+            let heavy_reps = baseline_reps();
+            let light_reps = 2 * heavy_reps + 1;
+            let mut scratch = KsScratch::default();
+            for (k, lvl) in missing {
+                let ct = keys.encrypt_at_level(&m, lvl, &mut rng);
+                let reps = if k == "mul" || k == "aut" { heavy_reps } else { light_reps };
+                let start = Instant::now();
+                for _ in 0..reps {
+                    match k {
+                        "add" => {
+                            let _ = ct.add(&ct);
                         }
+                        "mul" => {
+                            let _ = ct.mul_with_scratch(&ct, keys.relin_hint(), &mut scratch);
+                        }
+                        "mul_plain" => {
+                            let _ = ct.mul_plain(&m, &params);
+                        }
+                        "aut" => {
+                            let _ = ct.automorphism_with_scratch(
+                                3,
+                                keys.rotation_hint(3),
+                                &mut scratch,
+                            );
+                        }
+                        "mod_switch" => {
+                            if lvl >= 2 {
+                                let _ = ct.mod_switch_down();
+                            }
+                        }
+                        _ => unreachable!(),
                     }
-                    _ => unreachable!(),
                 }
+                let per_op = start.elapsed().as_secs_f64() / reps as f64;
+                cost_cache().lock().unwrap().insert((measure_n, k, lvl), per_op);
             }
-            let per_op = start.elapsed().as_secs_f64() / reps as f64;
-            costs.insert((k, lvl), per_op);
+            if !speedup_known {
+                // Parallel efficiency: run independent op streams across
+                // cores (the paper parallelizes its DB-lookup baseline, §7).
+                let s = Self::measure_parallel_speedup(&keys, &params, &m);
+                speedup_cache().lock().unwrap().insert(measure_n, s);
+            }
         }
-        // Parallel efficiency: run independent op streams across cores
-        // (the paper parallelizes its DB-lookup baseline, §7).
-        let parallel_speedup = Self::measure_parallel_speedup(&keys, &params, &m);
+        {
+            let cache = cost_cache().lock().unwrap();
+            for (k, lvl) in needed {
+                costs.insert((k, lvl), cache[&(measure_n, k, lvl)]);
+            }
+        }
+        let parallel_speedup = speedup_cache().lock().unwrap()[&measure_n];
         Self { n: measure_n, costs, parallel_speedup }
     }
 

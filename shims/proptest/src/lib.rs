@@ -30,7 +30,9 @@ pub mod prelude {
 ///
 /// Supports the common proptest form:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///
@@ -40,6 +42,9 @@ pub mod prelude {
 ///     }
 /// }
 /// ```
+// The `#[test]` in the example is the macro's canonical usage; the
+// doctest only checks that it expands and compiles.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (

@@ -1,0 +1,77 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this shim provides the
+//! tiny fork/join subset the workspace uses — [`scope`], [`join`] and
+//! [`current_num_threads`] — backed by `std::thread::scope`. There is no
+//! work-stealing pool: every spawned task is an OS thread, so callers are
+//! expected to spawn a few coarse tasks (e.g. one per limb group), not one
+//! per element. Swapping the real crate back in is a manifest-only change.
+//!
+//! API difference kept deliberately small: `scope` hands the closure
+//! `&std::thread::Scope` directly (whose `spawn` takes a plain `FnOnce()`),
+//! rather than rayon's `&Scope` with `FnOnce(&Scope)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped task spawner, re-exported from the standard library.
+///
+/// `scope(|s| { s.spawn(|| ...); ... })` blocks until every spawned task
+/// finishes, so borrows of stack data may cross into tasks.
+pub use std::thread::scope;
+
+/// The scope handle passed to the [`scope`] closure.
+pub use std::thread::Scope;
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Mirrors `rayon::join`: `b` runs on a freshly spawned scoped thread while
+/// `a` runs on the caller's thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// The number of threads the shim will use for parallel work: the host's
+/// available parallelism (1 if it cannot be determined).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let mut data = vec![0u32; 8];
+        let (lo, hi) = data.split_at_mut(4);
+        scope(|s| {
+            s.spawn(|| lo.iter_mut().for_each(|x| *x = 1));
+            s.spawn(|| hi.iter_mut().for_each(|x| *x = 2));
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
