@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Energy cost constants (picojoules per byte unless noted).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyModel {
-    /// HBM2 access energy per byte (≈ 3.9 pJ/bit including PHY [63]).
+    /// HBM2 access energy per byte (≈ 3.9 pJ/bit including PHY \[63\]).
     pub hbm_pj_per_byte: f64,
     /// Scratchpad SRAM access energy per byte.
     pub scratchpad_pj_per_byte: f64,

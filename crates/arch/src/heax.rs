@@ -1,6 +1,6 @@
 //! HEAX_σ comparator model for Table 4.
 //!
-//! HEAX [65] is the fastest prior FHE accelerator: an FPGA design with a
+//! HEAX \[65\] is the fastest prior FHE accelerator: an FPGA design with a
 //! fixed-function CKKS key-switching pipeline built from relatively
 //! low-throughput functional units at ~300 MHz. HEAX does not implement
 //! automorphisms, so the paper extends each key-switch pipeline with an

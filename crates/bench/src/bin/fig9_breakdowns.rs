@@ -15,9 +15,10 @@ fn main() {
         "{:<30} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "Benchmark", "KSH-C", "In-C", "KSH-NC", "In-NC", "Int-Ld", "Int-St", "Total[MB]"
     );
+    let benches = all_benchmarks(scale);
     let mut reports = Vec::new();
-    for b in all_benchmarks(scale) {
-        let r = run_benchmark(&b, &arch);
+    for b in &benches {
+        let r = run_benchmark(b, &arch);
         let t = r.traffic;
         let tot = t.total().max(1) as f64;
         println!(
@@ -60,4 +61,24 @@ fn main() {
     println!(
         "\nPaper shape: 59-96 W averages; computation is 20-30% of power, data movement dominates."
     );
+
+    // IR pass effect on the DFGs behind these breakdowns (hom-op counts
+    // before/after CSE + DCE + rotation dedup + folding + hoisting; the
+    // stats were computed when the benchmarks above were built).
+    println!("\nIR pass effect per benchmark (hom-ops before -> after, key-switches):");
+    for b in &benches {
+        println!(
+            "  {:<30} ops {:>5} -> {:<5}  keyswitch {:>4} -> {:<4}  (cse {}, dce {}, rot {}, fold {}, hoist {})",
+            b.name,
+            b.opt.nodes_before,
+            b.opt.nodes_after,
+            b.opt.keyswitch_before,
+            b.opt.keyswitch_after,
+            b.opt.cse_merged,
+            b.opt.dead_removed,
+            b.opt.rotations_merged,
+            b.opt.folded,
+            b.opt.hoisted
+        );
+    }
 }

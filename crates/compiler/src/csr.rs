@@ -1,6 +1,6 @@
 //! The CSR baseline scheduler for the Table 5 sensitivity study.
 //!
-//! Goodman & Hsu's "Code Scheduling to minimize Register usage" [37] is a
+//! Goodman & Hsu's "Code Scheduling to minimize Register usage" \[37\] is a
 //! register-pressure-aware list scheduler: among ready instructions it
 //! prefers the one that frees the most operands (reduces the live set),
 //! breaking ties by how few new values it creates. The paper applies it

@@ -17,7 +17,7 @@ use crate::dsl::{CtId, HomOp, Program};
 use f1_arch::ArchConfig;
 use f1_isa::dfg::{Dfg, ValueId, ValueKind, VectorOp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifies a key-switch hint (one pair of matrices, §2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -75,8 +75,9 @@ impl Default for ExpandOptions {
 pub struct Expanded {
     /// The instruction-level dataflow graph.
     pub dfg: Dfg,
-    /// Residue vectors of each hint (for reuse accounting).
-    pub hint_values: HashMap<HintId, Vec<ValueId>>,
+    /// Residue vectors of each hint (for reuse accounting). Ordered so
+    /// that iteration never depends on hash state (determinism).
+    pub hint_values: BTreeMap<HintId, Vec<ValueId>>,
     /// The key-switch variant actually used.
     pub used_ghs: bool,
     /// Ring dimension.
@@ -211,7 +212,7 @@ fn expand_with(
     let mut ex = Expander {
         program,
         dfg: Dfg::new(program.n),
-        hints: HashMap::new(),
+        hints: BTreeMap::new(),
         cts: HashMap::new(),
         plains: HashMap::new(),
         priority: 0,
@@ -274,13 +275,19 @@ pub fn hint_reuse_order(program: &Program) -> Vec<usize> {
             match same {
                 Some(p) => p,
                 None => {
-                    let mut counts: HashMap<HintId, usize> = HashMap::new();
+                    // Deterministic popularity vote: count in an ordered
+                    // map and break count ties by smallest HintId. (The
+                    // old HashMap max_by_key broke ties by hash-iteration
+                    // order — the source of the residual run-to-run
+                    // makespan wobble ROADMAP tracked.)
+                    let mut counts: BTreeMap<HintId, usize> = BTreeMap::new();
                     for &i in &ready {
                         if let Some(h) = hint_of(&ops[i]) {
                             *counts.entry(h).or_insert(0) += 1;
                         }
                     }
-                    let best = counts.into_iter().max_by_key(|&(_, c)| c).map(|(h, _)| h).unwrap();
+                    let best = counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+                    let best = best.map(|(h, _)| h).unwrap();
                     current_hint = Some(best);
                     ready.iter().position(|&i| hint_of(&ops[i]) == Some(best)).unwrap()
                 }
@@ -322,7 +329,7 @@ fn hint_of(op: &HomOp) -> Option<HintId> {
 struct Expander<'p> {
     program: &'p Program,
     dfg: Dfg,
-    hints: HashMap<HintId, Vec<ValueId>>,
+    hints: BTreeMap<HintId, Vec<ValueId>>,
     cts: HashMap<CtId, LoweredCt>,
     plains: HashMap<CtId, Vec<ValueId>>,
     priority: u64,

@@ -1,10 +1,17 @@
-//! # f1-compiler — F1's three-pass static scheduling compiler (§4)
+//! # f1-compiler — F1's static scheduling compiler (§4)
 //!
 //! F1 is statically scheduled: the compiler decides the exact cycle of
 //! every operation and data transfer (§3). This crate implements the full
-//! stack of Fig 3:
+//! stack of Fig 3, fronted by a typed IR:
 //!
-//! 1. [`dsl`] — the high-level FHE DSL of Listing 2 (`Program`).
+//! 0. [`ir`] — the `FheProgram` frontend: a typed, scheme-aware circuit
+//!    builder (BGV/CKKS/GSW, level/scale/depth tracking, plaintext
+//!    constants) over a normalized SSA IR with dense deterministic ids,
+//!    plus the optimization pipeline (constant folding, rotation dedup,
+//!    CSE, key-switch hoisting, DCE) that runs *before* key-switch
+//!    expansion multiplies every homomorphic op by ~100×.
+//! 1. [`dsl`] — the high-level FHE DSL of Listing 2 (`Program`), the
+//!    scheduler-facing homomorphic-op list the IR lowers into.
 //! 2. [`expand`] — the homomorphic-operation compiler (§4.2): orders
 //!    homomorphic operations to maximize key-switch-hint reuse, chooses
 //!    between key-switching implementations, and translates each
@@ -37,11 +44,13 @@ pub mod csr;
 pub mod cycle;
 pub mod dsl;
 pub mod expand;
+pub mod ir;
 pub mod movement;
 
 pub use cycle::CycleSchedule;
 pub use dsl::{CtId, HomOp, Program};
 pub use expand::{ExpandOptions, Expanded, KeySwitchChoice};
+pub use ir::{FheProgram, IrId, Lowered, OptStats, Scheme};
 pub use movement::MovePlan;
 
 /// Compiles a DSL program end-to-end with default options, returning the
@@ -72,4 +81,18 @@ pub fn compile(
         );
     }
     (expanded, plan, cycles)
+}
+
+/// Compiles a typed [`FheProgram`] end-to-end: optimize (IR passes) →
+/// lower → the three scheduling passes of [`compile`]. Returns the
+/// lowering (with its constant table and input maps), the optimization
+/// statistics, and the usual pass outputs.
+pub fn compile_fhe(
+    program: &FheProgram,
+    arch: &f1_arch::ArchConfig,
+) -> (Lowered, OptStats, Expanded, MovePlan, CycleSchedule) {
+    let (optimized, stats) = program.optimize();
+    let lowered = optimized.lower();
+    let (expanded, plan, cycles) = compile(&lowered.program, arch);
+    (lowered, stats, expanded, plan, cycles)
 }

@@ -7,7 +7,7 @@
 //! (operands resident); loads get priority from their earliest user and
 //! issue as bandwidth allows; evictions pick dead values first, then the
 //! value with the furthest expected reuse — an approximation of Belady's
-//! optimal policy [8]. Dirty evictions add spill stores (and later fills)
+//! optimal policy \[8\]. Dirty evictions add spill stores (and later fills)
 //! to the plan.
 //!
 //! The pass's product is a **residency event script** ([`MoveEvent`]):

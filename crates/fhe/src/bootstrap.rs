@@ -7,14 +7,14 @@
 //! tests decrypt the outputs to prove it. They follow the papers the F1
 //! evaluation cites:
 //!
-//! * [`BgvBootstrapper`] — Alperin-Sheriff–Peikert-style [3] non-packed
+//! * [`BgvBootstrapper`] — Alperin-Sheriff–Peikert-style \[3\] non-packed
 //!   BGV bootstrapping for `t = 2`: modulus-switch the exhausted
 //!   ciphertext to a power-of-two modulus, homomorphically decrypt with an
 //!   encrypted secret key, project to the constant coefficient with the
 //!   trace (a ladder of automorphisms — keyswitch-heavy, which is what
 //!   makes bootstrapping expensive on F1), then clear the high digits by
 //!   repeated squaring (digit extraction).
-//! * [`CkksBootstrapper`] — HEAAN-style [16] non-packed CKKS
+//! * [`CkksBootstrapper`] — HEAAN-style \[16\] non-packed CKKS
 //!   bootstrapping: raise the modulus (which adds a `q_1 * I` error term),
 //!   project to the constant coefficient with the trace, and evaluate
 //!   `x mod q_1` via the scaled-sine approximation (Taylor series of the
@@ -50,7 +50,7 @@ pub fn trace_exponents(n: usize) -> Vec<usize> {
 
 /// Non-packed BGV bootstrapping for binary plaintexts (`t = 2`).
 ///
-/// Pipeline (Alperin-Sheriff–Peikert [3] adapted to the RNS setting):
+/// Pipeline (Alperin-Sheriff–Peikert \[3\] adapted to the RNS setting):
 /// LSB→MSB conversion (multiply by `2^{-1} mod q_1`), modulus switch to
 /// `q̃ = 2^ρ`, homomorphic inner product against `Enc(s)`, trace projection
 /// to the constant slot, exact division by `N`, offset, and Halevi–Shoup

@@ -26,7 +26,7 @@ pub const CKKS_LIMB_BITS: u32 = 25;
 
 /// Estimates the security level in bits for ring dimension `n` and total
 /// ciphertext modulus width `log_q` bits, following the homomorphic
-/// encryption standard's ternary-secret tables [2] (linear interpolation
+/// encryption standard's ternary-secret tables \[2\] (linear interpolation
 /// between table rows; the paper's §2.2.3 rule).
 pub fn security_level_bits(n: usize, log_q: u32) -> f64 {
     // (N, log Q) pairs giving ~128-bit security per the HE standard.

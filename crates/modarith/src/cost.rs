@@ -19,7 +19,7 @@ pub enum MultiplierKind {
     Barrett,
     /// Generic Montgomery multiplier: odd modulus.
     Montgomery,
-    /// Word-level Montgomery with trivial `q'` multiply (Mert et al. [51]).
+    /// Word-level Montgomery with trivial `q'` multiply (Mert et al. \[51\]).
     NttFriendly,
     /// F1's design (§5.3): fixed 16-bit two-stage datapath, one multiplier
     /// stage removed; requires `q ≡ ±1 (mod 2^16)`.

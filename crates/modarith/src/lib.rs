@@ -9,7 +9,7 @@
 //!   word-level Montgomery constants, Shoup constants for fixed operands).
 //! * [`mul`] — the four modular-multiplier designs compared in the paper's
 //!   Table 1: Barrett, Montgomery, NTT-friendly (word-level Montgomery of
-//!   Mert et al. [51]) and F1's FHE-friendly multiplier.
+//!   Mert et al. \[51\]) and F1's FHE-friendly multiplier.
 //! * [`primes`] — NTT-friendly and FHE-friendly prime generation plus the
 //!   prime census backing the paper's "6,186 prime moduli" claim (§5.3).
 //! * [`slice_ops`] — batched element-wise kernels (`add_slice`, `mul_slice`,

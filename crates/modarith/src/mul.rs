@@ -7,7 +7,7 @@
 //! |---|---|---|
 //! | [`barrett`] | reciprocal-estimate division | none |
 //! | [`montgomery`] | single 32-bit Montgomery fold | odd `q` |
-//! | [`ntt_friendly`] | word-level Montgomery, trivial `q'` multiply (Mert et al. [51]) | `q ≡ 1 mod 2^m`, program-dependent `m = log 2N` |
+//! | [`ntt_friendly`] | word-level Montgomery, trivial `q'` multiply (Mert et al. \[51\]) | `q ≡ 1 mod 2^m`, program-dependent `m = log 2N` |
 //! | [`fhe_friendly`] | F1's design: fixed two-stage 16-bit datapath, one multiplier stage removed | `q ≡ 1 mod 2^16` (paper uses the mirror class `≡ −1`; DESIGN.md §2.7) |
 //!
 //! All four are implemented bit-exactly in software so that correctness can
@@ -71,7 +71,7 @@ pub fn montgomery_normalized(m: &Modulus, a: u32, b: u32) -> u32 {
     montgomery(m, ab_r_inv, m.mont_r2())
 }
 
-/// Word-level Montgomery multiplication (Mert et al. [51]): returns
+/// Word-level Montgomery multiplication (Mert et al. \[51\]): returns
 /// `a * b * 2^{-32} mod q`, reducing the 64-bit product in 16-bit steps.
 ///
 /// The generic design multiplies the low word by `q' = -q^{-1} mod 2^16`

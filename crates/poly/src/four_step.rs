@@ -1,12 +1,12 @@
 //! The four-step NTT decomposition implemented by F1's NTT unit (§5.2).
 //!
 //! A full 16K-point NTT datapath is prohibitive in hardware, so F1 composes
-//! `N`-point NTTs from `E = 128`-point NTTs using the four-step (Bailey [6])
+//! `N`-point NTTs from `E = 128`-point NTTs using the four-step (Bailey \[6\])
 //! algorithm: first-stage `E`-point NTTs, a twiddle multiplication, a
 //! transpose (the quadrant-swap unit of [`crate::transpose`]), and
 //! second-stage NTTs, with negacyclic pre/post twists folded into the
 //! twiddle SRAM contents so that both forward and inverse negacyclic NTTs
-//! run through the *same* pipeline (the paper's §5.2 refinement of [49]).
+//! run through the *same* pipeline (the paper's §5.2 refinement of \[49\]).
 //!
 //! This module is the functional model of that unit: bit-exact against the
 //! reference transforms in [`crate::ntt`], structured exactly as the

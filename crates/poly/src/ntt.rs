@@ -6,8 +6,8 @@
 //! standard merged-twist formulation: the forward transform is a
 //! decimation-in-time Cooley–Tukey butterfly network with ψ-powers merged
 //! into the twiddles, the inverse a decimation-in-frequency Gentleman–Sande
-//! network with ψ^{-1}-powers merged (Lyubashevsky et al. [49], Pöppelmann
-//! et al. [62], Roy et al. [67] — the same lineage the paper cites).
+//! network with ψ^{-1}-powers merged (Lyubashevsky et al. \[49\], Pöppelmann
+//! et al. \[62\], Roy et al. \[67\] — the same lineage the paper cites).
 //!
 //! Two implementations share the twiddle tables:
 //!

@@ -640,7 +640,7 @@ mod tests {
         let _ = ValueId(0);
         let ex = Expanded {
             dfg,
-            hint_values: std::collections::HashMap::new(),
+            hint_values: std::collections::BTreeMap::new(),
             used_ghs: false,
             n,
             output_values: vec![vec![v3]],

@@ -10,11 +10,25 @@
 //! DESIGN.md §2.2 for the substitution from the paper's Xeon baseline).
 
 use f1_compiler::dsl::{CtId, HomOp, Program};
+use f1_compiler::ir::Lowered;
 use f1_fhe::bgv::{Ciphertext, KeySet, Plaintext};
 use f1_fhe::params::BgvParams;
 use rand::Rng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Binds a lowering's compile-time constants ([`Lowered::constants`],
+/// the plaintexts the IR's constant folder produced) as plaintext
+/// operands for [`BgvExecutor::run`]. Folding is overflow-checked exact
+/// integer arithmetic, so reducing the folded coefficients mod `t` here
+/// yields the same residues as evaluating the original constant ops.
+pub fn bind_constants(lowered: &Lowered, params: &BgvParams) -> HashMap<CtId, Plaintext> {
+    lowered
+        .constants
+        .iter()
+        .map(|(id, coeffs)| (*id, Plaintext::from_coeffs(params, coeffs)))
+        .collect()
+}
 
 /// Executes DSL programs against the real BGV scheme.
 pub struct BgvExecutor {

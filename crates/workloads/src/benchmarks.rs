@@ -1,9 +1,18 @@
-//! The seven full-program benchmarks (§7 "Benchmarks").
+//! The seven full-program benchmarks (§7 "Benchmarks"), written on the
+//! typed [`FheProgram`] frontend.
+//!
+//! Each builder constructs a scheme-typed circuit (CKKS for the neural
+//! networks and HELR, BGV for DB lookup and BGV bootstrapping), then
+//! [`Benchmark`] runs the IR optimization pipeline and lowers to the
+//! scheduler-facing DSL program. Both the optimized program (what the
+//! scheduling passes and the CPU baseline consume) and the unoptimized
+//! lowering (for before/after accounting in the paper bins) are kept.
 
-use f1_compiler::dsl::{CtId, Program};
+use f1_compiler::dsl::Program;
+use f1_compiler::ir::{FheProgram, IrId, OptStats, Scheme};
 use serde::{Deserialize, Serialize};
 
-/// One benchmark: a DSL program plus its identity and parameters.
+/// One benchmark: a typed FHE program plus its identity and parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Benchmark {
     /// Paper name (Table 3 row label).
@@ -12,15 +21,33 @@ pub struct Benchmark {
     pub n: usize,
     /// Starting number of RNS limbs.
     pub l: usize,
-    /// The program.
+    /// The typed frontend program (pre-optimization).
+    pub fhe: FheProgram,
+    /// The scheduler-facing program: optimized IR, lowered.
     pub program: Program,
+    /// The unoptimized lowering (before/after accounting).
+    pub program_unopt: Program,
+    /// IR optimization statistics for this benchmark.
+    pub opt: OptStats,
     /// Scale divisor applied relative to the paper's full instance
     /// (1 = full size; >1 = reduced for tractable scheduling, with the
     /// reduction documented in EXPERIMENTS.md).
     pub scale: usize,
-    /// Which scheme the original uses (affects nothing at the
-    /// instruction level — the paper's point, §2.5).
-    pub scheme: &'static str,
+    /// Which scheme the original uses (typing only — at the instruction
+    /// level all schemes lower identically, the paper's point, §2.5).
+    pub scheme: Scheme,
+}
+
+impl Benchmark {
+    /// Optimizes and lowers a built frontend program.
+    fn finish(name: &'static str, l: usize, fhe: FheProgram, scale: usize) -> Self {
+        let n = fhe.n;
+        let scheme = fhe.scheme();
+        let program_unopt = fhe.lower().program;
+        let (optimized, opt) = fhe.optimize();
+        let program = optimized.lower().program;
+        Benchmark { name, n, l, fhe, program, program_unopt, opt, scale, scheme }
+    }
 }
 
 /// Builds all seven benchmarks at a given reduction scale (`1` = full).
@@ -54,17 +81,17 @@ fn div_sqrt(x: usize, scale: usize) -> usize {
     (x / s.max(1)).max(2)
 }
 
-/// LoLa-MNIST with unencrypted weights [15]: conv (5×5 windows as
+/// LoLa-MNIST with unencrypted weights \[15\]: conv (5×5 windows as
 /// rotate + multiply-by-plain + add) → square → dense → square → dense.
 /// Starting L = 4 (the paper's "relatively low L" trio).
 pub fn lola_mnist_uw(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l = 4;
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Ckks);
     let x = p.input(l);
     // Conv layer: 25 taps: rotate the input window, scale by the kernel.
     let taps = div(25, scale);
-    let mut acc: Option<CtId> = None;
+    let mut acc: Option<IrId> = None;
     for tap in 0..taps {
         let w = p.plain_input(l);
         let r = if tap == 0 { x } else { p.rotate(x, tap) };
@@ -76,8 +103,8 @@ pub fn lola_mnist_uw(scale: usize) -> Benchmark {
     }
     let conv = acc.unwrap();
     // Square activation (the only ct×ct multiplies in the UW variant).
-    let act1 = p.mul(conv, conv);
-    let act1 = p.mod_switch(act1);
+    let act1 = p.square(conv);
+    let act1 = p.rescale(act1);
     // Dense layer 1: blocks of multiply-by-plain + inner sums.
     let blocks = div(10, scale);
     let mut outs = Vec::new();
@@ -92,13 +119,13 @@ pub fn lola_mnist_uw(scale: usize) -> Benchmark {
     for &o in &outs[1..] {
         h = p.add(h, o);
     }
-    let act2 = p.mul(h, h);
-    let act2 = p.mod_switch(act2);
+    let act2 = p.square(h);
+    let act2 = p.rescale(act2);
     let w_out = p.plain_input(l - 2);
     let logits = p.mul_plain(act2, w_out);
     let final_sum = p.inner_sum(logits, 16);
     p.output(final_sum);
-    Benchmark { name: "LoLa-MNIST Unencryp. Wghts.", n, l, program: p, scale, scheme: "CKKS" }
+    Benchmark::finish("LoLa-MNIST Unencryp. Wghts.", l, p, scale)
 }
 
 /// LoLa-MNIST with encrypted weights: same shape, but weights are
@@ -107,10 +134,10 @@ pub fn lola_mnist_uw(scale: usize) -> Benchmark {
 pub fn lola_mnist_ew(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l = 6;
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Ckks);
     let x = p.input(l);
     let taps = div(25, scale);
-    let mut acc: Option<CtId> = None;
+    let mut acc: Option<IrId> = None;
     for tap in 0..taps {
         let w = p.input(l); // encrypted weights
         let r = if tap == 0 { x } else { p.rotate(x, tap) };
@@ -120,9 +147,9 @@ pub fn lola_mnist_ew(scale: usize) -> Benchmark {
             Some(a) => p.add(a, m),
         });
     }
-    let conv = p.mod_switch(acc.unwrap());
-    let act1 = p.mul(conv, conv);
-    let act1 = p.mod_switch(act1);
+    let conv = p.rescale(acc.unwrap());
+    let act1 = p.square(conv);
+    let act1 = p.rescale(act1);
     let blocks = div(10, scale);
     let mut outs = Vec::new();
     for _ in 0..blocks {
@@ -135,28 +162,29 @@ pub fn lola_mnist_ew(scale: usize) -> Benchmark {
     for &o in &outs[1..] {
         h = p.add(h, o);
     }
-    let h = p.mod_switch(h);
-    let act2 = p.mul(h, h);
-    let act2 = p.mod_switch(act2);
+    let h = p.rescale(h);
+    let act2 = p.square(h);
+    let act2 = p.rescale(act2);
     let w_out = p.input(l - 4);
     let logits = p.mul(act2, w_out);
     let final_sum = p.inner_sum(logits, 16);
     p.output(final_sum);
-    Benchmark { name: "LoLa-MNIST Encryp. Wghts.", n, l, program: p, scale, scheme: "CKKS" }
+    Benchmark::finish("LoLa-MNIST Encryp. Wghts.", l, p, scale)
 }
 
 /// LoLa-CIFAR (unencrypted weights), the largest network: 6 layers
 /// (2 conv + 4 dense in LoLa's packed formulation), starting L = 8.
 /// The full instance is ~50× LoLa-MNIST's work; `scale` divides layer
-/// widths.
+/// widths. (At full size the conv rotation patterns wrap their windows,
+/// so rotation dedup merges the duplicate automorphisms.)
 pub fn lola_cifar_uw(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l = 8;
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Ckks);
     let x = p.input(l);
     // Conv 1: 3 input channels × 25 taps.
     let taps1 = div(75, scale);
-    let mut acc: Option<CtId> = None;
+    let mut acc: Option<IrId> = None;
     for tap in 0..taps1 {
         let w = p.plain_input(l);
         let r = if tap == 0 { x } else { p.rotate(x, 1 + (tap % 63)) };
@@ -167,14 +195,14 @@ pub fn lola_cifar_uw(scale: usize) -> Benchmark {
         });
     }
     let c1 = acc.unwrap();
-    let a1 = p.mul(c1, c1);
-    let a1 = p.mod_switch(a1);
+    let a1 = p.square(c1);
+    let a1 = p.rescale(a1);
     // Conv 2: 25 taps × 8 output groups.
     let groups = div(8, scale);
     let taps2 = div(25, scale.min(5));
     let mut conv2_outs = Vec::new();
     for g in 0..groups {
-        let mut acc2: Option<CtId> = None;
+        let mut acc2: Option<IrId> = None;
         for tap in 0..taps2 {
             let w = p.plain_input(l - 1);
             let r = p.rotate(a1, 1 + ((g * taps2 + tap) % 127));
@@ -190,8 +218,8 @@ pub fn lola_cifar_uw(scale: usize) -> Benchmark {
     for &o in &conv2_outs[1..] {
         c2 = p.add(c2, o);
     }
-    let a2 = p.mul(c2, c2);
-    let a2 = p.mod_switch(a2);
+    let a2 = p.square(c2);
+    let a2 = p.rescale(a2);
     // Dense stack: 4 layers of (blocks × mul_plain + inner sums).
     let mut h = a2;
     let widths = [div(64, scale), div(32, scale), div(16, scale), div(10, scale)];
@@ -209,29 +237,31 @@ pub fn lola_cifar_uw(scale: usize) -> Benchmark {
             acc3 = p.add(acc3, o);
         }
         if layer < widths.len() - 1 {
-            h = p.mod_switch(acc3);
+            h = p.rescale(acc3);
         } else {
             h = acc3;
         }
     }
     p.output(h);
-    Benchmark { name: "LoLa-CIFAR Unencryp. Wghts.", n, l, program: p, scale, scheme: "CKKS" }
+    Benchmark::finish("LoLa-CIFAR Unencryp. Wghts.", l, p, scale)
 }
 
-/// HELR logistic regression [40]: one training batch, 256 features ×
+/// HELR logistic regression \[40\]: one training batch, 256 features ×
 /// 256 samples, starting L = 16 — the "large log Q" workload whose hint
-/// traffic dominates (Fig 9a).
+/// traffic dominates (Fig 9a). Feature blocks carry *distinct* packed
+/// sample ciphertexts (the seed version reused one ciphertext for every
+/// block, a modeling shortcut the IR's CSE would rightly collapse).
 pub fn logistic_regression(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l = 16;
-    let mut p = Program::new(n);
-    let x = p.input(l); // packed sample matrix
+    let mut p = FheProgram::new(n, Scheme::Ckks);
     let w = p.input(l); // encrypted model
     let blocks = div(32, scale); // feature blocks
-                                 // Forward pass: per block, x·w inner products via rotate-and-add.
+    let sample_blocks: Vec<IrId> = (0..blocks).map(|_| p.input(l)).collect();
+    // Forward pass: per block, x·w inner products via rotate-and-add.
     let mut dots = Vec::new();
-    for _ in 0..blocks {
-        let prod = p.mul(x, w);
+    for &xb in &sample_blocks {
+        let prod = p.mul(xb, w);
         let s = p.inner_sum(prod, 256);
         dots.push(s);
     }
@@ -240,21 +270,21 @@ pub fn logistic_regression(scale: usize) -> Benchmark {
         z = p.add(z, d);
     }
     // Sigmoid: degree-7 polynomial (HELR's least-squares fit), evaluated
-    // with 3 sequential squarings + combine, mod-switching en route.
-    let z = p.mod_switch(z);
-    let z2 = p.mul(z, z);
-    let z2 = p.mod_switch(z2);
-    let z4 = p.mul(z2, z2);
-    let z4 = p.mod_switch(z4);
+    // with 3 sequential squarings + combine, rescaling en route.
+    let z = p.rescale(z);
+    let z2 = p.square(z);
+    let z2 = p.rescale(z2);
+    let z4 = p.square(z2);
+    let z4 = p.rescale(z4);
     let c1 = p.plain_input(l - 3);
     let t1 = p.mul_plain(z4, c1);
     let sig = p.inner_sum(t1, 4);
     // Gradient: per feature block, sigmoid × samples, summed.
     let mut grads = Vec::new();
-    for _ in 0..blocks {
-        let xs = p.mod_switch(x);
-        let xs = p.mod_switch(xs);
-        let xs = p.mod_switch(xs);
+    for &xb in &sample_blocks {
+        let xs = p.rescale(xb);
+        let xs = p.rescale(xs);
+        let xs = p.rescale(xs);
         let g = p.mul(sig, xs);
         let g = p.inner_sum(g, 256);
         grads.push(g);
@@ -268,20 +298,20 @@ pub fn logistic_regression(scale: usize) -> Benchmark {
     let step = p.mul_plain(g_total, eta);
     let mut w_down = w;
     for _ in 0..3 {
-        w_down = p.mod_switch(w_down);
+        w_down = p.rescale(w_down);
     }
     let w_new = p.add(w_down, step);
     p.output(w_new);
-    Benchmark { name: "Logistic Regression", n, l, program: p, scale, scheme: "CKKS" }
+    Benchmark::finish("Logistic Regression", l, p, scale)
 }
 
-/// DB lookup, adapted from HElib's BGV_country_db_lookup [41] at the
+/// DB lookup, adapted from HElib's BGV_country_db_lookup \[41\] at the
 /// paper's hardened parameters (L = 17, N = 16K): compare an encrypted
 /// query against every encrypted key, mask the values, and sum.
 pub fn db_lookup(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l = 17;
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Bgv);
     let query = p.input(l);
     let entries = div(64, scale);
     let mut masked = Vec::new();
@@ -291,10 +321,10 @@ pub fn db_lookup(scale: usize) -> Benchmark {
         // cost), then an equality indicator via Fermat-style squarings
         // (depth 4), mod-switching to keep noise in check.
         let diff = p.add(query, key);
-        let mut eq = p.mul(diff, diff);
+        let mut eq = p.square(diff);
         for _ in 0..3 {
             eq = p.mod_switch(eq);
-            eq = p.mul(eq, eq);
+            eq = p.square(eq);
         }
         let value = p.plain_input(p.level_of(eq));
         let hit = p.mul_plain(eq, value);
@@ -306,10 +336,10 @@ pub fn db_lookup(scale: usize) -> Benchmark {
     }
     let result = p.inner_sum(acc, 64);
     p.output(result);
-    Benchmark { name: "DB Lookup", n, l, program: p, scale, scheme: "BGV" }
+    Benchmark::finish("DB Lookup", l, p, scale)
 }
 
-/// Non-packed BGV bootstrapping (Alperin-Sheriff–Peikert [3]) at
+/// Non-packed BGV bootstrapping (Alperin-Sheriff–Peikert \[3\]) at
 /// L_max = 24: the operation trace of `f1-fhe`'s real bootstrapper —
 /// homomorphic inner product, ν-stage trace (automorphism-heavy), exact
 /// division, and Halevi–Shoup digit extraction (ρ² /2 squarings).
@@ -318,7 +348,7 @@ pub fn bgv_bootstrapping(scale: usize) -> Benchmark {
     let l_max = 24;
     let nu = 14usize; // log2 N
     let rho = div_sqrt(15, scale);
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Bgv);
     // Bootstrapping key: Enc(s) at L_max; ã/b̃ as plaintext operands.
     let boot_key = p.input(l_max);
     let a_tilde = p.plain_input(l_max);
@@ -341,7 +371,7 @@ pub fn bgv_bootstrapping(scale: usize) -> Benchmark {
     z = p.mul_plain(z, inv);
     // Halevi–Shoup digit extraction: ρ outer steps; step k recomputes y
     // (k subtract+halve pairs) and squares all k rows once.
-    let mut rows: Vec<CtId> = Vec::new();
+    let mut rows: Vec<IrId> = Vec::new();
     let mut z_cur = z;
     for kk in 0..rho {
         let mut y = z_cur;
@@ -359,23 +389,25 @@ pub fn bgv_bootstrapping(scale: usize) -> Benchmark {
         z_cur = p.mod_switch(z_cur);
         for row in rows.iter_mut() {
             let down = p.mod_switch(*row);
-            *row = p.mul(down, down);
+            *row = p.square(down);
         }
     }
-    Benchmark { name: "BGV Bootstrapping", n, l: l_max, program: p, scale, scheme: "BGV" }
+    Benchmark::finish("BGV Bootstrapping", l_max, p, scale)
 }
 
-/// Non-packed CKKS bootstrapping (HEAAN [16]) at L_max = 24: modulus
+/// Non-packed CKKS bootstrapping (HEAAN \[16\]) at L_max = 24: modulus
 /// raise, trace, then EvalMod by the scaled-sine method (Taylor Horner +
 /// double-angle squarings). Far fewer multiplications than BGV
-/// bootstrapping, hence less hint reuse (§7).
+/// bootstrapping, hence less hint reuse (§7). (The re/im state starts
+/// from the same value, so the first Horner step's two multiplies are
+/// genuinely common subexpressions — visible in the IR stats.)
 pub fn ckks_bootstrapping(scale: usize) -> Benchmark {
     let n = 1 << 14;
     let l_max = 24;
     let nu = 14usize;
     let taylor = div_sqrt(7, scale);
     let double_angles = div_sqrt(9, scale); // sparse-key HEAAN setting
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Ckks);
     let ct = p.input(l_max); // the raised ciphertext
                              // Trace ladder.
     let two_n = 2 * n;
@@ -392,42 +424,43 @@ pub fn ckks_bootstrapping(scale: usize) -> Benchmark {
     for _ in 0..3 {
         let c = p.plain_input(p.level_of(z));
         z = p.mul_plain(z, c);
-        z = p.mod_switch(z);
+        z = p.rescale(z);
     }
     // Horner Taylor: re/im pair, two ct×ct muls per step + rescales.
     let mut re = z;
     let mut im = z;
     for _ in 0..taylor {
         let new_re = p.mul(im, z);
-        let new_re = p.mod_switch(new_re);
+        let new_re = p.rescale(new_re);
         let c = p.plain_input(p.level_of(new_re));
         let new_re = p.add_plain(new_re, c);
         let new_im = p.mul(re, z);
-        let new_im = p.mod_switch(new_im);
+        let new_im = p.rescale(new_im);
         re = new_re;
         im = new_im;
-        z = p.mod_switch(z);
+        z = p.rescale(z);
     }
     // Double-angle squarings: 3 muls per step.
     for _ in 0..double_angles {
-        let re2 = p.mul(re, re);
-        let im2 = p.mul(im, im);
+        let re2 = p.square(re);
+        let im2 = p.square(im);
         let cross = p.mul(re, im);
         let diff = p.add(re2, im2);
-        re = p.mod_switch(diff);
+        re = p.rescale(diff);
         let twice = p.add(cross, cross);
-        im = p.mod_switch(twice);
+        im = p.rescale(twice);
     }
     let c_final = p.plain_input(p.level_of(im));
     let out = p.mul_plain(im, c_final);
     p.output(out);
-    Benchmark { name: "CKKS Bootstrapping", n, l: l_max, program: p, scale, scheme: "CKKS" }
+    Benchmark::finish("CKKS Bootstrapping", l_max, p, scale)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use f1_compiler::expand::{expand, ExpandOptions};
+    use f1_compiler::ir::FheOp;
 
     #[test]
     fn all_benchmarks_build_and_expand() {
@@ -457,26 +490,35 @@ mod tests {
     }
 
     #[test]
+    fn schemes_are_typed() {
+        let bs = all_benchmarks(8);
+        let by_name = |n: &str| bs.iter().find(|b| b.name.contains(n)).unwrap();
+        assert_eq!(by_name("DB Lookup").scheme, Scheme::Bgv);
+        assert_eq!(by_name("BGV Boot").scheme, Scheme::Bgv);
+        assert_eq!(by_name("CIFAR").scheme, Scheme::Ckks);
+        assert_eq!(by_name("Logistic").scheme, Scheme::Ckks);
+    }
+
+    #[test]
     fn bootstrapping_is_automorphism_heavy() {
         let b = bgv_bootstrapping(4);
-        let auts = b
+        let auts = b.fhe.nodes().iter().filter(|n| matches!(n.op, FheOp::Aut { .. })).count();
+        assert_eq!(auts, 14, "ν trace stages");
+        // The trace automorphisms all feed adds that also consume their
+        // input, so the optimizer must preserve every one of them.
+        let auts_opt = b
             .program
             .ops()
             .iter()
             .filter(|o| matches!(o, f1_compiler::dsl::HomOp::Aut { .. }))
             .count();
-        assert_eq!(auts, 14, "ν trace stages");
+        assert_eq!(auts_opt, 14);
     }
 
     #[test]
     fn ckks_boot_has_fewer_muls_than_bgv_boot() {
-        let count_muls = |b: &Benchmark| {
-            b.program
-                .ops()
-                .iter()
-                .filter(|o| matches!(o, f1_compiler::dsl::HomOp::Mul { .. }))
-                .count()
-        };
+        let count_muls =
+            |b: &Benchmark| b.fhe.nodes().iter().filter(|n| matches!(n.op, FheOp::Mul(..))).count();
         let bgv = bgv_bootstrapping(1);
         let ckks = ckks_bootstrapping(1);
         assert!(
@@ -500,5 +542,27 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(min_level(&full), min_level(&small));
+    }
+
+    #[test]
+    fn ir_passes_find_real_redundancy() {
+        // CKKS bootstrapping: re and im start equal, so the first Horner
+        // step's two multiplies (and their rescales) are CSE-equal. BGV
+        // bootstrapping: digit extraction's first lockstep mod-switch
+        // duplicates the z chain's. Both must show up as node reductions.
+        for b in [ckks_bootstrapping(8), bgv_bootstrapping(8)] {
+            assert!(b.opt.removed() > 0, "{}: expected a node reduction, got {:?}", b.name, b.opt);
+            assert!(b.program.ops().len() < b.program_unopt.ops().len(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn optimized_benchmarks_stay_semantically_sized() {
+        // Optimization must trim, not gut: every benchmark keeps ≥ 80%
+        // of its hom-ops (the passes remove genuine redundancy only).
+        for b in all_benchmarks(8) {
+            let (before, after) = (b.opt.nodes_before, b.opt.nodes_after);
+            assert!(after * 10 >= before * 8, "{}: {before} -> {after} ops", b.name);
+        }
     }
 }

@@ -1,8 +1,10 @@
 //! # f1-workloads — the paper's evaluation benchmarks (§7)
 //!
-//! Seven full FHE programs expressed in the compiler DSL, mirroring the
-//! paper's benchmark suite: the three LoLa neural networks, HELR logistic
-//! regression, HElib's DB lookup, and non-packed BGV/CKKS bootstrapping.
+//! Seven full FHE programs expressed on the typed `FheProgram` frontend
+//! (scheme-aware levels/scales, optimized and lowered through the IR
+//! pass pipeline), mirroring the paper's benchmark suite: the three LoLa
+//! neural networks, HELR logistic regression, HElib's DB lookup, and
+//! non-packed BGV/CKKS bootstrapping.
 //! Workload *structure* (operation mix, depths, rotation patterns,
 //! parameters) follows the sources the paper ports; weights/data are
 //! synthetic (see DESIGN.md §2.4).

@@ -4,6 +4,7 @@
 use f1_arch::heax::HeaxModel;
 use f1_arch::ArchConfig;
 use f1_compiler::dsl::Program;
+use f1_compiler::ir::{FheProgram, Scheme};
 use f1_isa::FuType;
 use serde::{Deserialize, Serialize};
 
@@ -81,9 +82,10 @@ pub fn heax_reciprocal_s(op: MicroOp, n: usize, l: usize) -> f64 {
     }
 }
 
-/// A single-operation DSL program for CPU-baseline measurement.
+/// A single-operation program for CPU-baseline measurement, built on the
+/// typed frontend and lowered through the IR pipeline.
 pub fn micro_program(op: MicroOp, n: usize, l: usize) -> Program {
-    let mut p = Program::new(n);
+    let mut p = FheProgram::new(n, Scheme::Bgv);
     let x = p.input(l);
     match op {
         MicroOp::Ntt | MicroOp::HomMul => {
@@ -98,7 +100,7 @@ pub fn micro_program(op: MicroOp, n: usize, l: usize) -> Program {
             p.output(r);
         }
     }
-    p
+    p.optimize().0.lower().program
 }
 
 /// The paper's Table 4 reference speedups (for EXPERIMENTS.md shape

@@ -15,7 +15,11 @@ fn main() {
     let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
     let baseline = CpuBaseline::measure(&b.program, 1024);
     let cpu_s = baseline.estimate_seconds_parallel(&b.program, b.n);
-    println!("{} (scale 1/{}):", b.name, b.scale);
+    println!("{} ({}, scale 1/{}):", b.name, b.scheme, b.scale);
+    println!(
+        "  IR passes: {} hom ops -> {} before key-switch expansion",
+        b.opt.nodes_before, b.opt.nodes_after
+    );
     println!(
         "  F1:  {:.3} ms  ({} instructions, {} cycles, {} key-switching)",
         report.seconds * 1e3,

@@ -1,10 +1,11 @@
 //! Quickstart: encrypt data with BGV, compute on it homomorphically,
-//! compile the same computation for F1, and compare execution estimates.
+//! compile the same computation for F1 through the typed IR frontend,
+//! and compare execution estimates.
 //!
 //! Run with: `cargo run -p f1 --release --example quickstart`
 
 use f1::arch::ArchConfig;
-use f1::compiler::Program;
+use f1::compiler::ir::{FheProgram, Scheme};
 use f1::fhe::bgv::{KeySet, Plaintext};
 use f1::fhe::params::BgvParams;
 use rand::SeedableRng;
@@ -21,14 +22,15 @@ fn main() {
     println!("homomorphic 7 * 6 = {}", keys.decrypt(&ct).coeff(0));
     assert_eq!(keys.decrypt(&ct).coeff(0), 42);
 
-    // --- 2. The same computation as an F1 program, statically scheduled.
-    let mut p = Program::new(1 << 14);
+    // --- 2. The same computation as a typed F1 program, run through the
+    // IR passes and statically scheduled.
+    let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
     let a = p.input(16);
     let b = p.input(16);
     let prod = p.mul(a, b);
     p.output(prod);
     let arch = ArchConfig::f1_default();
-    let (ex, plan, cycles) = f1::compiler_compile(&p, &arch);
+    let (_, _, ex, plan, cycles) = f1::compiler::compile_fhe(&p, &arch);
     let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
     println!(
         "one homomorphic multiply at N=16K, L=16: {} instructions, {} cycles ({:.2} µs), {} MB off-chip",

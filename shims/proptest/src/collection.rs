@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// The size argument of [`vec`]: a fixed length or a half-open range.
+/// The size argument of [`vec`](fn@vec): a fixed length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -29,7 +29,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec`](fn@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

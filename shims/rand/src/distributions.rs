@@ -38,7 +38,7 @@ impl Distribution<f64> for Standard {
 }
 
 pub mod uniform {
-    //! Uniform sampling over ranges, as used by [`Rng::gen_range`].
+    //! Uniform sampling over ranges, as used by [`crate::Rng::gen_range`].
 
     use crate::RngCore;
     use std::ops::{Range, RangeInclusive};
