@@ -21,7 +21,7 @@ fn bench_keyswitch(c: &mut Criterion) {
     let mut scratch = KsScratch::default();
     c.bench_function("keyswitch_decomp_n4096_l4", |b| b.iter(|| decomp.apply(&x)));
     c.bench_function("keyswitch_decomp_scratch_n4096_l4", |b| {
-        b.iter(|| decomp.apply_with_scratch(&x, &mut scratch))
+        b.iter(|| decomp.apply_with_scratch(&x, &mut scratch));
     });
     c.bench_function("keyswitch_ghs_n4096_l4", |b| b.iter(|| ghs.apply(&x)));
 }

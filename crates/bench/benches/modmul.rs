@@ -14,28 +14,28 @@ fn bench_modmul(c: &mut Criterion) {
             || xs.clone(),
             |v| v.iter().map(|&(x, y)| mul::barrett(&m, x, y)).fold(0u32, u32::wrapping_add),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("montgomery", |b| {
         b.iter_batched(
             || xs.clone(),
             |v| v.iter().map(|&(x, y)| mul::montgomery(&m, x, y)).fold(0u32, u32::wrapping_add),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("ntt_friendly", |b| {
         b.iter_batched(
             || xs.clone(),
             |v| v.iter().map(|&(x, y)| mul::ntt_friendly(&m, x, y)).fold(0u32, u32::wrapping_add),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("fhe_friendly", |b| {
         b.iter_batched(
             || xs.clone(),
             |v| v.iter().map(|&(x, y)| mul::fhe_friendly(&m, x, y)).fold(0u32, u32::wrapping_add),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

@@ -19,14 +19,14 @@ fn bench_ntt(c: &mut Criterion) {
                 let mut x = a.clone();
                 tables.forward(&mut x);
                 x
-            })
+            });
         });
         c.bench_function(&format!("ntt_reference_n{n}"), |b| {
             b.iter(|| {
                 let mut x = a.clone();
                 tables.forward_reference(&mut x);
                 x
-            })
+            });
         });
         c.bench_function(&format!("ntt_four_step_n{n}"), |b| b.iter(|| four.forward(&a)));
     }

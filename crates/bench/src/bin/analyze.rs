@@ -1,0 +1,188 @@
+//! Static-analysis driver over the benchmark suite: runs the compiler's
+//! analyzer (noise abstract interpretation, typing validation, pressure,
+//! lints) on all seven paper benchmarks and writes `ANALYSIS.json`.
+//!
+//! ```text
+//! cargo run -p f1-bench --release --bin analyze              # writes ANALYSIS.json
+//! cargo run ... --bin analyze -- --out other.json            # elsewhere
+//! ```
+//!
+//! The output is deterministic (the analyses are pure functions of the
+//! IR), so CI regenerates it and diffs against the committed file: any
+//! drift in node counts, noise margins or diagnostics shows up as a
+//! reviewable diff. The process exits 1 if any benchmark carries an
+//! Error-severity diagnostic after the recorded waivers are applied, so
+//! the same run is the merge gate.
+//!
+//! Waivers come from [`f1_workloads::Benchmark::noise_waiver`] — the
+//! bootstrapping workloads deliberately exhaust their noise budget
+//! before refreshing — and each is recorded in the JSON next to the
+//! findings it downgraded.
+
+use f1_arch::ArchConfig;
+use f1_compiler::analysis::{Analyzer, Severity};
+use f1_workloads::all_benchmarks;
+
+/// JSON string escaping for the few metacharacters diagnostics can hold.
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "ANALYSIS.json".to_string());
+
+    let arch = ArchConfig::f1_default();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"f1-analysis-v1\",\n");
+    out.push_str("  \"scale\": 1,\n");
+    out.push_str("  \"benchmarks\": [\n");
+
+    let benchmarks = all_benchmarks(1);
+    let mut total_errors = 0usize;
+    println!(
+        "{:<28} {:>6} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "benchmark", "nodes", "opt", "wc-margin", "est-marg.", "spills", "errs", "warns"
+    );
+    for (bi, b) in benchmarks.iter().enumerate() {
+        let mut analyzer = Analyzer::new().with_arch(arch.clone());
+        if let Some(why) = b.noise_waiver() {
+            analyzer.registry_mut().override_severity(
+                "noise::budget-exhausted",
+                Severity::Warning,
+                why,
+            );
+        }
+        let (opt, _) = b.fhe.optimize();
+        let report = analyzer.analyze(&opt);
+        let errors = report.count(Severity::Error);
+        let warnings = report.count(Severity::Warning);
+        let infos = report.count(Severity::Info);
+        total_errors += errors;
+
+        println!(
+            "{:<28} {:>6} {:>6} {:>9.1} {:>9.1} {:>7} {:>6} {:>6}",
+            b.name,
+            b.opt.nodes_before,
+            b.opt.nodes_after,
+            report.noise.min_margin_wc,
+            report.noise.min_margin_est,
+            report.pressure.spills(),
+            errors,
+            warnings
+        );
+
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", esc(b.name)));
+        out.push_str(&format!("      \"scheme\": \"{}\",\n", b.scheme.label()));
+        out.push_str(&format!("      \"n\": {},\n", b.n));
+        out.push_str(&format!("      \"l\": {},\n", b.l));
+        out.push_str(&format!("      \"nodes_before_opt\": {},\n", b.opt.nodes_before));
+        out.push_str(&format!("      \"nodes_after_opt\": {},\n", b.opt.nodes_after));
+        out.push_str(&format!("      \"keyswitch_ops\": {},\n", opt.keyswitch_count()));
+        out.push_str("      \"noise\": {\n");
+        out.push_str(&format!(
+            "        \"min_margin_wc_bits\": {:.1},\n",
+            report.noise.min_margin_wc
+        ));
+        out.push_str(&format!(
+            "        \"min_margin_est_bits\": {:.1},\n",
+            report.noise.min_margin_est
+        ));
+        out.push_str(&format!(
+            "        \"critical_node\": {},\n",
+            report.noise.critical.map_or("null".to_string(), |c| c.0.to_string())
+        ));
+        out.push_str(&format!(
+            "        \"critical_path\": [{}]\n",
+            report
+                .noise
+                .critical_path
+                .iter()
+                .map(|v| v.0.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("      },\n");
+        out.push_str("      \"pressure\": {\n");
+        out.push_str(&format!(
+            "        \"peak_live_bytes\": {},\n",
+            report.pressure.peak_live_bytes
+        ));
+        out.push_str(&format!("        \"live_at_peak\": {},\n", report.pressure.live_at_peak));
+        out.push_str(&format!("        \"max_hint_bytes\": {},\n", report.pressure.max_hint_bytes));
+        out.push_str(&format!(
+            "        \"total_hint_bytes\": {},\n",
+            report.pressure.total_hint_bytes
+        ));
+        out.push_str(&format!("        \"distinct_hints\": {},\n", report.pressure.distinct_hints));
+        out.push_str(&format!("        \"capacity_bytes\": {},\n", report.pressure.capacity_bytes));
+        out.push_str(&format!("        \"spills\": {}\n", report.pressure.spills()));
+        out.push_str("      },\n");
+        out.push_str("      \"waivers\": [");
+        let waivers: Vec<String> = analyzer
+            .registry_mut()
+            .overrides()
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"rule\": \"{}\", \"severity\": \"{}\", \"justification\": \"{}\"}}",
+                    esc(&o.rule),
+                    o.severity.label(),
+                    esc(&o.justification)
+                )
+            })
+            .collect();
+        out.push_str(&waivers.join(", "));
+        out.push_str("],\n");
+        out.push_str("      \"diagnostics\": [");
+        let diags: Vec<String> = report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "\n        {{\"rule\": \"{}\", \"severity\": \"{}\", \"node\": {}, \"message\": \"{}\"}}",
+                    esc(d.rule),
+                    d.severity.label(),
+                    d.node.map_or("null".to_string(), |v| v.0.to_string()),
+                    esc(&d.message)
+                )
+            })
+            .collect();
+        out.push_str(&diags.join(","));
+        if !diags.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("      \"errors\": {errors},\n"));
+        out.push_str(&format!("      \"warnings\": {warnings},\n"));
+        out.push_str(&format!("      \"infos\": {infos}\n"));
+        out.push_str("    }");
+        out.push_str(if bi + 1 < benchmarks.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_errors\": {total_errors}\n"));
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, out).expect("failed to write analysis JSON");
+    println!("\nwrote {out_path}");
+
+    if total_errors > 0 {
+        println!("FAILED: {total_errors} Error-severity diagnostic(s) across the suite");
+        std::process::exit(1);
+    }
+    println!("no Error-severity diagnostics across the suite");
+}

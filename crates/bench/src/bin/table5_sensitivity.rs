@@ -38,15 +38,15 @@ fn main() {
         let lt_ntt = with(&|a| a.low_throughput_ntt = true) as f64 / base as f64;
         let lt_aut = with(&|a| a.low_throughput_aut = true) as f64 / base as f64;
         let csr_order = f1_compiler::csr::csr_order(&ex.dfg);
-        let makespan_with_order = |arch: &ArchConfig, order: Option<Vec<f1_isa::InstrId>>| -> u64 {
+        let makespan_with_order = |arch: &ArchConfig, order: Option<&[f1_isa::InstrId]>| -> u64 {
             let plan = f1_compiler::movement::schedule_with_order(&ex, arch, order);
             f1_compiler::cycle::schedule(&ex, &plan, arch).makespan
         };
         let (csr, csr4) = match csr_order {
             Some(order) => {
-                let csr = makespan_with_order(&base_arch, Some(order.clone())) as f64 / base as f64;
+                let csr = makespan_with_order(&base_arch, Some(&order)) as f64 / base as f64;
                 let base4 = makespan_with_order(&tiny_arch, None);
-                let csr4 = makespan_with_order(&tiny_arch, Some(order)) as f64 / base4 as f64;
+                let csr4 = makespan_with_order(&tiny_arch, Some(&order)) as f64 / base4 as f64;
                 (Some(csr), Some(csr4))
             }
             None => (None, None),

@@ -1,0 +1,99 @@
+//! The generic forward dataflow engine.
+//!
+//! An [`FheProgram`] is SSA over dense creation-order ids, so a single
+//! in-order sweep computes any forward analysis on a well-formed
+//! program. The engine still runs a proper worklist — seeding every node
+//! in id order and re-queueing users whenever a fact changes — so it
+//! converges (to the analysis' fixpoint) even on ill-formed inputs with
+//! forward operand references, which the typing validator must be able
+//! to analyze rather than crash on.
+
+use crate::ir::{FheProgram, IrId};
+use std::collections::VecDeque;
+
+/// One forward analysis: a fact lattice (implicitly, `Fact` + the
+/// transfer's monotonicity) and a per-node transfer function.
+pub trait ForwardAnalysis {
+    /// The per-node fact. Equality gates re-queueing, so `PartialEq`
+    /// must be reflexive on every fact the transfer can produce (beware
+    /// NaN if facts carry floats).
+    type Fact: Clone + PartialEq;
+
+    /// The initial fact every node starts from.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Computes the fact for `id` from the facts of its operands (in
+    /// operand order; empty for leaves).
+    fn transfer(&self, p: &FheProgram, id: IrId, operands: &[Self::Fact]) -> Self::Fact;
+}
+
+/// Runs `analysis` over `p` to a fixpoint, returning one fact per node
+/// (indexed by id).
+pub fn run_forward<A: ForwardAnalysis>(p: &FheProgram, analysis: &A) -> Vec<A::Fact> {
+    let n = p.nodes().len();
+    // users[i] = nodes whose operand list contains i.
+    let mut users: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, node) in p.nodes().iter().enumerate() {
+        for o in node.op.operands() {
+            if (o.0 as usize) < n {
+                users[o.0 as usize].push(i as u32);
+            }
+        }
+    }
+    let mut facts: Vec<A::Fact> = vec![analysis.bottom(); n];
+    let mut queue: VecDeque<u32> = (0..n as u32).collect();
+    let mut queued = vec![true; n];
+    let mut scratch: Vec<A::Fact> = Vec::new();
+    while let Some(i) = queue.pop_front() {
+        queued[i as usize] = false;
+        scratch.clear();
+        for o in p.nodes()[i as usize].op.operands() {
+            // Out-of-range operands (hand-crafted ill-formed IR) read
+            // bottom; the typing validator reports them separately.
+            let fact = facts.get(o.0 as usize).cloned().unwrap_or_else(|| analysis.bottom());
+            scratch.push(fact);
+        }
+        let new = analysis.transfer(p, IrId(i), &scratch);
+        if new != facts[i as usize] {
+            facts[i as usize] = new;
+            for &u in &users[i as usize] {
+                if !queued[u as usize] {
+                    queued[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Scheme;
+
+    /// Depth-from-inputs: 0 at leaves, max(operands) + 1 elsewhere.
+    struct HopCount;
+    impl ForwardAnalysis for HopCount {
+        type Fact = u32;
+        fn bottom(&self) -> u32 {
+            0
+        }
+        fn transfer(&self, _p: &FheProgram, _id: IrId, operands: &[u32]) -> u32 {
+            operands.iter().copied().max().map_or(0, |m| m + 1)
+        }
+    }
+
+    #[test]
+    fn single_sweep_converges_on_ssa_program() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(4);
+        let y = p.input(4);
+        let m = p.mul(x, y);
+        let r = p.aut(m, 3);
+        let s = p.add(m, r);
+        p.output(s);
+        let facts = run_forward(&p, &HopCount);
+        assert_eq!(facts, vec![0, 0, 1, 2, 3]);
+    }
+}

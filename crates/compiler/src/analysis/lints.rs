@@ -1,0 +1,554 @@
+//! The lint driver: a [`Lint`] trait, the default rule set and a
+//! registry with per-rule severity overrides.
+//!
+//! Rule catalog (default severities; `analyze` in `f1-bench` serializes
+//! findings into `ANALYSIS.json` and CI fails on Errors):
+//!
+//! | rule | default | meaning |
+//! |------|---------|---------|
+//! | `typing::*` | Error | structural/typing invariant broken (see [`super::typing`]) |
+//! | `scale::exceeds-level` | Warning | CKKS scale exceeds remaining levels: cannot rescale back to Δ |
+//! | `scale::saturated` | Warning | CKKS rescale at scale 1 hit the saturation floor |
+//! | `noise::budget-exhausted` | Error (BGV) / Warning | even the tracked estimate overruns `log2(Q_l/2)` |
+//! | `noise::unproven` | Warning | worst-case bound overruns the budget (correctness not statically proven) |
+//! | `noise::low-margin` | Info | worst-case margin below 10 bits |
+//! | `pressure::scratchpad-spill` | Warning | peak live bytes + one hint exceed the scratchpad |
+//! | `redundancy::dead-node` | Warning | nodes that cannot reach an output (run `optimize`) |
+//! | `program::no-outputs` | Warning | the program computes nothing observable |
+//!
+//! The BGV/CKKS split on `noise::budget-exhausted` is deliberate: only
+//! the BGV model is validated against a real executor (see
+//! [`super::noise`]), so CKKS/GSW noise findings never gate CI.
+
+use super::{Diagnostic, NoiseReport, PressureReport, Severity};
+use crate::ir::{FheProgram, IrId, Scheme};
+
+/// Shared inputs every lint can read: the precomputed analyses.
+pub struct AnalysisContext<'a> {
+    /// The noise-budget analysis.
+    pub noise: &'a NoiseReport,
+    /// The scratchpad-pressure analysis.
+    pub pressure: &'a PressureReport,
+}
+
+/// One lint rule (or rule family).
+pub trait Lint {
+    /// The rule id (or family prefix) this lint emits.
+    fn rule(&self) -> &'static str;
+    /// One-line description for catalogs.
+    fn description(&self) -> &'static str;
+    /// Runs the lint.
+    fn check(&self, p: &FheProgram, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// The full typing validator as a lint family.
+struct TypingLint;
+impl Lint for TypingLint {
+    fn rule(&self) -> &'static str {
+        "typing"
+    }
+    fn description(&self) -> &'static str {
+        "SSA well-formedness, level/scale/depth typing, input-ordinal integrity"
+    }
+    fn check(&self, p: &FheProgram, _ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        super::typing::check(p)
+    }
+}
+
+/// CKKS scale bookkeeping beyond plain type-correctness.
+struct ScaleLint;
+impl Lint for ScaleLint {
+    fn rule(&self) -> &'static str {
+        "scale"
+    }
+    fn description(&self) -> &'static str {
+        "CKKS scale vs level budget and rescale saturation"
+    }
+    fn check(&self, p: &FheProgram, _ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        if p.scheme() != Scheme::Ckks {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // One summary per program (anchored at the worst offender), not
+        // one warning per node: deep CKKS circuits can carry thousands
+        // of over-scale values, and per-node spam buries every other
+        // finding. Warning, not Error: the paper's benchmarks (and this
+        // repo's suite) legitimately defer rescaling across several
+        // multiplications, letting scale transiently exceed the
+        // remaining levels before a rescale chain brings it back.
+        let mut over = 0usize;
+        let mut worst: Option<(IrId, usize)> = None;
+        let mut saturated = 0usize;
+        let mut first_saturated = None;
+        for (i, node) in p.nodes().iter().enumerate() {
+            let id = IrId(i as u32);
+            if !node.ty.plain && node.ty.scale as usize > node.ty.level {
+                over += 1;
+                let excess = node.ty.scale as usize - node.ty.level;
+                if worst.is_none_or(|(_, w)| excess > w) {
+                    worst = Some((id, excess));
+                }
+            }
+            if let crate::ir::FheOp::ModSwitch(a) = node.op {
+                if p.node(a).ty.scale == 1 {
+                    saturated += 1;
+                    first_saturated.get_or_insert(id);
+                }
+            }
+        }
+        if saturated > 0 {
+            out.push(Diagnostic::warning(
+                "scale::saturated",
+                first_saturated,
+                format!(
+                    "{saturated} rescale(s) of a scale-1 value saturate at the Δ floor \
+                     (first: %{}): precision is lost",
+                    first_saturated.expect("saturated > 0").0
+                ),
+            ));
+        }
+        if let Some((id, excess)) = worst {
+            out.push(Diagnostic::warning(
+                "scale::exceeds-level",
+                Some(id),
+                format!(
+                    "{over} value(s) carry a scale exceeding their remaining levels \
+                     (worst: %{} by {excess}Δ): they cannot be rescaled back to Δ \
+                     before the chain runs out",
+                    id.0
+                ),
+            ));
+        }
+        out
+    }
+}
+
+/// Noise-budget findings from the abstract interpretation.
+struct NoiseLint;
+impl Lint for NoiseLint {
+    fn rule(&self) -> &'static str {
+        "noise"
+    }
+    fn description(&self) -> &'static str {
+        "static noise-budget margins (tracked estimate and worst-case bound)"
+    }
+    fn check(&self, p: &FheProgram, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let r = ctx.noise;
+        let Some(critical) = r.critical else { return Vec::new() };
+        let mut out = Vec::new();
+        // Only the BGV model is executor-validated; other schemes never
+        // exceed Warning.
+        let ceiling = if p.scheme() == Scheme::Bgv { Severity::Error } else { Severity::Warning };
+        if r.min_margin_est < 0.0 {
+            // Anchor at the node with the worst *estimate* margin.
+            let worst_est = (0..p.nodes().len())
+                .map(|i| IrId(i as u32))
+                .filter(|&id| !p.node(id).ty.plain)
+                .min_by(|&a, &b| {
+                    r.margin_est(p, a).partial_cmp(&r.margin_est(p, b)).expect("margins are finite")
+                })
+                .expect("critical implies a ciphertext node exists");
+            out.push(Diagnostic {
+                rule: "noise::budget-exhausted",
+                severity: ceiling,
+                node: Some(worst_est),
+                message: format!(
+                    "tracked noise estimate overruns the budget by {:.1} bits at level {}",
+                    -r.min_margin_est,
+                    p.node(worst_est).ty.level
+                ),
+            });
+        } else if r.min_margin_wc < 0.0 {
+            out.push(Diagnostic::warning(
+                "noise::unproven",
+                Some(critical),
+                format!(
+                    "worst-case noise bound overruns the budget by {:.1} bits \
+                     (estimate still fits by {:.1}): correctness is not statically proven",
+                    -r.min_margin_wc, r.min_margin_est
+                ),
+            ));
+        } else if r.min_margin_wc < 10.0 {
+            out.push(Diagnostic::info(
+                "noise::low-margin",
+                Some(critical),
+                format!("worst-case noise margin is only {:.1} bits", r.min_margin_wc),
+            ));
+        }
+        out
+    }
+}
+
+/// Scratchpad pressure finding.
+struct PressureLint;
+impl Lint for PressureLint {
+    fn rule(&self) -> &'static str {
+        "pressure"
+    }
+    fn description(&self) -> &'static str {
+        "peak live ciphertext bytes vs scratchpad capacity"
+    }
+    fn check(&self, _p: &FheProgram, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let r = ctx.pressure;
+        if !r.spills() {
+            return Vec::new();
+        }
+        vec![Diagnostic::warning(
+            "pressure::scratchpad-spill",
+            r.peak_at,
+            format!(
+                "peak working set {:.1} MB ({} live values + {:.1} MB hint) exceeds the \
+                 {:.0} MB scratchpad: pass 2 will spill",
+                r.peak_live_bytes as f64 / (1 << 20) as f64,
+                r.live_at_peak,
+                r.max_hint_bytes as f64 / (1 << 20) as f64,
+                r.capacity_bytes as f64 / (1 << 20) as f64
+            ),
+        )]
+    }
+}
+
+/// Dead code reachable from no output.
+struct DeadNodeLint;
+impl Lint for DeadNodeLint {
+    fn rule(&self) -> &'static str {
+        "redundancy"
+    }
+    fn description(&self) -> &'static str {
+        "nodes that cannot reach any program output"
+    }
+    fn check(&self, p: &FheProgram, _ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let n = p.nodes().len();
+        let mut live = vec![false; n];
+        for &o in p.outputs() {
+            if (o.0 as usize) < n {
+                live[o.0 as usize] = true;
+            }
+        }
+        for i in (0..n).rev() {
+            if live[i] {
+                for o in p.nodes()[i].op.operands() {
+                    if (o.0 as usize) < n {
+                        live[o.0 as usize] = true;
+                    }
+                }
+            }
+        }
+        let dead: Vec<usize> = (0..n).filter(|&i| !live[i]).collect();
+        if dead.is_empty() {
+            return Vec::new();
+        }
+        vec![Diagnostic::warning(
+            "redundancy::dead-node",
+            Some(IrId(dead[0] as u32)),
+            format!(
+                "{} node(s) cannot reach any output (first: %{}); run optimize() to \
+                     eliminate them",
+                dead.len(),
+                dead[0]
+            ),
+        )]
+    }
+}
+
+/// A program with no outputs at all.
+struct NoOutputsLint;
+impl Lint for NoOutputsLint {
+    fn rule(&self) -> &'static str {
+        "program"
+    }
+    fn description(&self) -> &'static str {
+        "whole-program sanity (outputs exist)"
+    }
+    fn check(&self, p: &FheProgram, _ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        if p.outputs().is_empty() {
+            vec![Diagnostic::warning(
+                "program::no-outputs",
+                None,
+                "program declares no outputs; everything is dead code".into(),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A registered severity override (waiver or escalation) with its
+/// justification — recorded so reports can show *why* a rule was waived.
+#[derive(Debug, Clone)]
+pub struct SeverityOverride {
+    /// Exact diagnostic rule id the override applies to.
+    pub rule: String,
+    /// The severity diagnostics of that rule are clamped to.
+    pub severity: Severity,
+    /// Why (serialized into `ANALYSIS.json` next to the finding).
+    pub justification: String,
+}
+
+/// An ordered set of lints plus severity overrides.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+    overrides: Vec<SeverityOverride>,
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { lints: Vec::new(), overrides: Vec::new() }
+    }
+
+    /// The default rule set (every lint in this module).
+    pub fn default_set() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(TypingLint));
+        r.register(Box::new(ScaleLint));
+        r.register(Box::new(NoiseLint));
+        r.register(Box::new(PressureLint));
+        r.register(Box::new(DeadNodeLint));
+        r.register(Box::new(NoOutputsLint));
+        r
+    }
+
+    /// Appends a lint (runs after the existing ones).
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// Registered lints, in run order.
+    pub fn lints(&self) -> impl Iterator<Item = &dyn Lint> {
+        self.lints.iter().map(AsRef::as_ref)
+    }
+
+    /// Overrides the severity of every diagnostic with exactly `rule`,
+    /// with a recorded justification (e.g. waiving a known-benign
+    /// finding for one benchmark).
+    pub fn override_severity(&mut self, rule: &str, severity: Severity, justification: &str) {
+        self.overrides.push(SeverityOverride {
+            rule: rule.to_string(),
+            severity,
+            justification: justification.to_string(),
+        });
+    }
+
+    /// The registered overrides.
+    pub fn overrides(&self) -> &[SeverityOverride] {
+        &self.overrides
+    }
+
+    /// Runs every lint and applies severity overrides.
+    pub fn run(&self, p: &FheProgram, ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            out.extend(lint.check(p, ctx));
+        }
+        for d in &mut out {
+            if let Some(o) = self.overrides.iter().find(|o| o.rule == d.rule) {
+                d.severity = o.severity;
+            }
+        }
+        out
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        Self::default_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Analyzer;
+    use super::*;
+    use crate::ir::{FheOp, ValType};
+
+    fn diags(p: &FheProgram) -> Vec<Diagnostic> {
+        Analyzer::new().analyze(p).diagnostics
+    }
+
+    fn has(d: &[Diagnostic], rule: &str) -> bool {
+        d.iter().any(|x| x.rule == rule)
+    }
+
+    #[test]
+    fn triggers_type_drift() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let x = p.input(4);
+        let s = p.square(x);
+        p.output(s);
+        p.raw_node_mut(s).ty = ValType { depth: 9, ..p.node(s).ty };
+        assert!(has(&diags(&p), "typing::type-drift"));
+    }
+
+    #[test]
+    fn triggers_plain_output() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let c = p.scalar(3, 2);
+        p.raw_output(c);
+        assert!(has(&diags(&p), "typing::plain-output"));
+    }
+
+    #[test]
+    fn triggers_gsw_mod_switch() {
+        let mut p = FheProgram::new(64, Scheme::Gsw);
+        let x = p.input(2);
+        let bad =
+            p.raw_push(FheOp::ModSwitch(x), ValType { plain: false, level: 1, scale: 0, depth: 0 });
+        p.output(bad);
+        assert!(has(&diags(&p), "typing::gsw-mod-switch"));
+    }
+
+    #[test]
+    fn triggers_level_underflow() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let x = p.input(1);
+        let bad =
+            p.raw_push(FheOp::ModSwitch(x), ValType { plain: false, level: 1, scale: 0, depth: 0 });
+        p.output(bad);
+        assert!(has(&diags(&p), "typing::level-underflow"));
+    }
+
+    #[test]
+    fn triggers_aut_exponent() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let x = p.input(2);
+        let bad = p.raw_push(
+            FheOp::Aut { a: x, k: 4 },
+            ValType { plain: false, level: 2, scale: 0, depth: 0 },
+        );
+        p.output(bad);
+        assert!(has(&diags(&p), "typing::aut-exponent"));
+    }
+
+    #[test]
+    fn triggers_operand_kind() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let x = p.input(2);
+        let c = p.scalar(3, 2);
+        let bad =
+            p.raw_push(FheOp::Add(x, c), ValType { plain: false, level: 2, scale: 0, depth: 0 });
+        p.output(bad);
+        assert!(has(&diags(&p), "typing::operand-kind"));
+    }
+
+    #[test]
+    fn triggers_scale_exceeds_level() {
+        let mut p = FheProgram::new(64, Scheme::Ckks);
+        let x = p.input(2);
+        let m = p.square(x);
+        let m2 = p.square(m); // scale 4 > level 2
+        p.output(m2);
+        assert!(has(&diags(&p), "scale::exceeds-level"));
+    }
+
+    #[test]
+    fn triggers_scale_saturated() {
+        let mut p = FheProgram::new(64, Scheme::Ckks);
+        let x = p.input(3); // scale 1
+        let r = p.rescale(x); // saturates at 1
+        p.output(r);
+        assert!(has(&diags(&p), "scale::saturated"));
+    }
+
+    #[test]
+    fn triggers_noise_budget_exhausted() {
+        // Relentless squaring at one level: the estimate itself overruns.
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let mut x = p.input(2);
+        for _ in 0..4 {
+            x = p.square(x);
+        }
+        p.output(x);
+        let d = diags(&p);
+        assert!(has(&d, "noise::budget-exhausted"), "{d:?}");
+        assert!(
+            d.iter().any(|x| x.rule == "noise::budget-exhausted" && x.severity == Severity::Error),
+            "BGV exhaustion must be an Error"
+        );
+    }
+
+    #[test]
+    fn triggers_noise_unproven() {
+        // One mul at a level the estimate fits but the worst case
+        // doesn't: est ≈ 17+17+14 = 48, wc ≈ 14+2·16+ks ≈ 70+ vs
+        // budget 2·29-1 = 57.
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let x = p.input(2);
+        let m = p.square(x);
+        p.output(m);
+        let d = diags(&p);
+        assert!(has(&d, "noise::unproven"), "{d:?}");
+    }
+
+    #[test]
+    fn triggers_noise_low_margin() {
+        // Two plain-muls at level 2: wc ≈ 2·(14+15) + fresh 19 ≈ 50
+        // against budget 57 — inside the 10-bit band.
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let x = p.input(2);
+        let c = p.scalar(3, 2);
+        let m = p.mul_plain(x, c);
+        p.output(m);
+        let d = diags(&p);
+        assert!(
+            has(&d, "noise::low-margin") || has(&d, "noise::unproven"),
+            "expected a thin-margin finding: {d:?}"
+        );
+    }
+
+    #[test]
+    fn triggers_scratchpad_spill() {
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let xs: Vec<IrId> = (0..64).map(|_| p.input(16)).collect();
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = p.add(acc, x);
+        }
+        let m = p.mul(acc, acc);
+        p.output(m);
+        let mut analyzer =
+            Analyzer::new().with_arch(f1_arch::ArchConfig::f1_default().with_scratchpad_mb(4));
+        let _ = &mut analyzer;
+        let d = analyzer.analyze(&p).diagnostics;
+        assert!(has(&d, "pressure::scratchpad-spill"), "{d:?}");
+    }
+
+    #[test]
+    fn triggers_dead_node() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let x = p.input(4);
+        let _dead = p.square(x);
+        let live = p.aut(x, 3);
+        p.output(live);
+        assert!(has(&diags(&p), "redundancy::dead-node"));
+    }
+
+    #[test]
+    fn triggers_no_outputs() {
+        let mut p = FheProgram::new(64, Scheme::Bgv);
+        let _ = p.input(4);
+        assert!(has(&diags(&p), "program::no-outputs"));
+    }
+
+    #[test]
+    fn override_downgrades_severity_with_justification() {
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let mut x = p.input(2);
+        for _ in 0..4 {
+            x = p.square(x);
+        }
+        p.output(x);
+        let mut analyzer = Analyzer::new();
+        analyzer.registry_mut().override_severity(
+            "noise::budget-exhausted",
+            Severity::Warning,
+            "exercised by the waiver test",
+        );
+        let report = analyzer.analyze(&p);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "noise::budget-exhausted" && d.severity == Severity::Warning));
+    }
+}

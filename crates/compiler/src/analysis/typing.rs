@@ -1,0 +1,444 @@
+//! The scheme-typing validator: re-proves every invariant the builder
+//! enforces at construction time, from nothing but the node list.
+//!
+//! The builder ([`FheProgram`]'s typed methods) guarantees these
+//! invariants for programs it constructs — but the optimization passes
+//! rewrite node lists wholesale, and a pass bug produces a program that
+//! *looks* well-formed while its stored types no longer match its
+//! structure. This module recomputes all types via the dataflow engine
+//! and diffs them against the stored ones ([`check`]), and compares
+//! program interfaces across a pass boundary ([`verify_step`]) so
+//! [`crate::ir::passes::optimize`] can name the pass that broke an
+//! invariant.
+
+use super::dataflow::{run_forward, ForwardAnalysis};
+use super::{Diagnostic, Severity};
+use crate::ir::{FheOp, FheProgram, IrId, Scheme, ValType};
+use std::collections::BTreeSet;
+
+/// The typing fact: a recomputed type, a rule violation at this node, or
+/// poison from an ill-typed operand (suppressing cascade reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeFact {
+    /// Not yet computed.
+    Unknown,
+    /// This node itself violates a typing rule.
+    Ill(&'static str, String),
+    /// An operand is ill-typed; this node is not separately reported.
+    Poisoned,
+    /// Recomputed successfully.
+    Ok(ValType),
+}
+
+/// The type-recomputation analysis (mirrors the builder's rules exactly).
+pub struct Retype;
+
+impl Retype {
+    fn input_scale(p: &FheProgram) -> u32 {
+        if p.scheme() == Scheme::Ckks {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl ForwardAnalysis for Retype {
+    type Fact = TypeFact;
+
+    fn bottom(&self) -> TypeFact {
+        TypeFact::Unknown
+    }
+
+    fn transfer(&self, p: &FheProgram, id: IrId, operands: &[TypeFact]) -> TypeFact {
+        // Propagate poison/unknown first: a node downstream of a broken
+        // one is not itself news.
+        let mut tys = Vec::with_capacity(operands.len());
+        for f in operands {
+            match f {
+                TypeFact::Ok(t) => tys.push(*t),
+                TypeFact::Unknown => return TypeFact::Unknown,
+                TypeFact::Ill(..) | TypeFact::Poisoned => return TypeFact::Poisoned,
+            }
+        }
+        let scale0 = Self::input_scale(p);
+        let ill = |rule, msg: String| TypeFact::Ill(rule, msg);
+        let join = |a: ValType, b: ValType| -> Result<usize, TypeFact> {
+            if a.level != b.level {
+                return Err(ill(
+                    "typing::level-mismatch",
+                    format!("operand levels differ ({} vs {})", a.level, b.level),
+                ));
+            }
+            Ok(a.level)
+        };
+        match &p.node(id).op {
+            FheOp::CtInput { level, .. } => {
+                if *level == 0 {
+                    return ill("typing::level-underflow", "input at level 0".into());
+                }
+                TypeFact::Ok(ValType { plain: false, level: *level, scale: scale0, depth: 0 })
+            }
+            FheOp::PtInput { level, .. } | FheOp::Constant { level, .. } => {
+                if *level == 0 {
+                    return ill("typing::level-underflow", "plaintext at level 0".into());
+                }
+                TypeFact::Ok(ValType { plain: true, level: *level, scale: scale0, depth: 0 })
+            }
+            FheOp::Add(..) | FheOp::Mul(..) => {
+                let (a, b) = (tys[0], tys[1]);
+                let level = match join(a, b) {
+                    Ok(l) => l,
+                    Err(e) => return e,
+                };
+                if a.plain != b.plain {
+                    return ill(
+                        "typing::operand-kind",
+                        "ciphertext/plaintext operand mix on add/mul".into(),
+                    );
+                }
+                let is_mul = matches!(p.node(id).op, FheOp::Mul(..));
+                if a.plain {
+                    // Compile-time constant pair (the builder only admits
+                    // foldable constants here).
+                    TypeFact::Ok(ValType {
+                        plain: true,
+                        level,
+                        scale: a.scale.max(b.scale),
+                        depth: 0,
+                    })
+                } else if is_mul {
+                    TypeFact::Ok(ValType {
+                        plain: false,
+                        level,
+                        scale: a.scale + b.scale,
+                        depth: a.depth.max(b.depth) + 1,
+                    })
+                } else {
+                    TypeFact::Ok(ValType {
+                        plain: false,
+                        level,
+                        scale: a.scale.max(b.scale),
+                        depth: a.depth.max(b.depth),
+                    })
+                }
+            }
+            FheOp::AddPlain(..) | FheOp::MulPlain(..) => {
+                let (a, pt) = (tys[0], tys[1]);
+                if a.plain || !pt.plain {
+                    return ill(
+                        "typing::operand-kind",
+                        "add_plain/mul_plain need (ciphertext, plaintext) operands".into(),
+                    );
+                }
+                let level = match join(a, pt) {
+                    Ok(l) => l,
+                    Err(e) => return e,
+                };
+                if matches!(p.node(id).op, FheOp::MulPlain(..)) {
+                    TypeFact::Ok(ValType {
+                        plain: false,
+                        level,
+                        scale: a.scale + pt.scale,
+                        depth: a.depth,
+                    })
+                } else {
+                    TypeFact::Ok(ValType { level, ..a })
+                }
+            }
+            FheOp::Aut { k, .. } => {
+                let a = tys[0];
+                if a.plain {
+                    return ill("typing::operand-kind", "automorphism of a plaintext".into());
+                }
+                if *k % 2 == 0 || *k >= 2 * p.n {
+                    return ill(
+                        "typing::aut-exponent",
+                        format!("invalid automorphism exponent {k} (need odd, < 2N)"),
+                    );
+                }
+                TypeFact::Ok(a)
+            }
+            FheOp::ModSwitch(..) => {
+                let a = tys[0];
+                if a.plain {
+                    return ill("typing::operand-kind", "mod_switch of a plaintext".into());
+                }
+                if p.scheme() == Scheme::Gsw {
+                    return ill(
+                        "typing::gsw-mod-switch",
+                        "GSW has no modulus chain to switch".into(),
+                    );
+                }
+                if a.level < 2 {
+                    return ill(
+                        "typing::level-underflow",
+                        format!("mod_switch below level 2 (operand at {})", a.level),
+                    );
+                }
+                let scale =
+                    if p.scheme() == Scheme::Ckks { a.scale.saturating_sub(1).max(1) } else { 0 };
+                TypeFact::Ok(ValType { level: a.level - 1, scale, ..a })
+            }
+        }
+    }
+}
+
+/// Structural checks that are not per-node dataflow: SSA operand
+/// ordering, output integrity, input-ordinal uniqueness.
+fn structural(p: &FheProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = p.nodes().len();
+    for (i, node) in p.nodes().iter().enumerate() {
+        for o in node.op.operands() {
+            if o.0 as usize >= i {
+                out.push(Diagnostic::error(
+                    "typing::ssa",
+                    Some(IrId(i as u32)),
+                    format!("operand %{} does not precede its user", o.0),
+                ));
+            }
+        }
+    }
+    let mut ct_seen = BTreeSet::new();
+    let mut pt_seen = BTreeSet::new();
+    for (i, node) in p.nodes().iter().enumerate() {
+        let (set, ord, kind) = match node.op {
+            FheOp::CtInput { ordinal, .. } => (&mut ct_seen, ordinal, "ciphertext"),
+            FheOp::PtInput { ordinal, .. } => (&mut pt_seen, ordinal, "plaintext"),
+            _ => continue,
+        };
+        if !set.insert(ord) {
+            out.push(Diagnostic::error(
+                "typing::input-ordinals",
+                Some(IrId(i as u32)),
+                format!("duplicate {kind} input ordinal {ord}"),
+            ));
+        }
+    }
+    for &o in p.outputs() {
+        if o.0 as usize >= n {
+            out.push(Diagnostic::error(
+                "typing::ssa",
+                Some(o),
+                format!("output references unknown node %{}", o.0),
+            ));
+        } else if p.node(o).ty.plain {
+            out.push(Diagnostic::error(
+                "typing::plain-output",
+                Some(o),
+                "program output is a plaintext".into(),
+            ));
+        }
+    }
+    out
+}
+
+/// Full validation: structural checks plus type recomputation diffed
+/// against the stored types. Returns every violation found (empty =
+/// provably well-formed).
+pub fn check(p: &FheProgram) -> Vec<Diagnostic> {
+    let mut out = structural(p);
+    // Forward references make recomputed facts unreliable; report the
+    // SSA breakage alone rather than noise on top of it.
+    if out.iter().any(|d| d.rule == "typing::ssa") {
+        return out;
+    }
+    let facts = run_forward(p, &Retype);
+    for (i, fact) in facts.iter().enumerate() {
+        let id = IrId(i as u32);
+        match fact {
+            TypeFact::Ok(t) => {
+                let stored = p.node(id).ty;
+                if *t != stored {
+                    out.push(Diagnostic::error(
+                        "typing::type-drift",
+                        Some(id),
+                        format!("stored type {stored:?} != recomputed {t:?}"),
+                    ));
+                }
+            }
+            TypeFact::Ill(rule, msg) => out.push(Diagnostic::error(rule, Some(id), msg.clone())),
+            TypeFact::Poisoned | TypeFact::Unknown => {}
+        }
+    }
+    out
+}
+
+/// A program's observable interface: output types (in declaration order)
+/// and the surviving input ordinals. Captured before an optimization
+/// pass and compared after — a pass may drop dead inputs and merge
+/// duplicates, but must never change what the program computes *for*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    /// Output value types, in output order.
+    pub outputs: Vec<ValType>,
+    /// Build-time ordinals of live ciphertext inputs.
+    pub ct_ordinals: BTreeSet<u32>,
+    /// Build-time ordinals of live plaintext runtime inputs.
+    pub pt_ordinals: BTreeSet<u32>,
+}
+
+/// Captures `p`'s interface.
+pub fn interface(p: &FheProgram) -> Interface {
+    let mut ct_ordinals = BTreeSet::new();
+    let mut pt_ordinals = BTreeSet::new();
+    for node in p.nodes() {
+        match node.op {
+            FheOp::CtInput { ordinal, .. } => {
+                ct_ordinals.insert(ordinal);
+            }
+            FheOp::PtInput { ordinal, .. } => {
+                pt_ordinals.insert(ordinal);
+            }
+            _ => {}
+        }
+    }
+    let outputs = p.outputs().iter().map(|&o| p.node(o).ty).collect();
+    Interface { outputs, ct_ordinals, pt_ordinals }
+}
+
+/// Verifies one pass boundary: `after` must be fully well-formed
+/// ([`check`]) and must preserve `before`'s interface — same output
+/// types in the same order, and surviving input ordinals a subset of the
+/// originals. `pass` names the pass for the messages.
+pub fn verify_step(before: &Interface, after: &FheProgram, pass: &str) -> Vec<Diagnostic> {
+    let mut out = check(after);
+    let now = interface(after);
+    if now.outputs.len() != before.outputs.len() {
+        out.push(Diagnostic::error(
+            "typing::interface",
+            None,
+            format!(
+                "pass '{pass}' changed the output count ({} -> {})",
+                before.outputs.len(),
+                now.outputs.len()
+            ),
+        ));
+    } else {
+        for (i, (b, a)) in before.outputs.iter().zip(&now.outputs).enumerate() {
+            if b != a {
+                out.push(Diagnostic::error(
+                    "typing::interface",
+                    Some(after.outputs()[i]),
+                    format!("pass '{pass}' changed output {i}'s type: {b:?} -> {a:?}"),
+                ));
+            }
+        }
+    }
+    if !now.ct_ordinals.is_subset(&before.ct_ordinals) {
+        out.push(Diagnostic::error(
+            "typing::interface",
+            None,
+            format!("pass '{pass}' invented ciphertext input ordinals"),
+        ));
+    }
+    if !now.pt_ordinals.is_subset(&before.pt_ordinals) {
+        out.push(Diagnostic::error(
+            "typing::interface",
+            None,
+            format!("pass '{pass}' invented plaintext input ordinals"),
+        ));
+    }
+    out
+}
+
+/// `check`, panicking with the pass name on the first Error (the
+/// always-on between-pass verifier behind [`crate::ir::FheProgram::optimize`]).
+pub fn assert_verified(before: &Interface, after: &FheProgram, pass: &str) {
+    let diags = verify_step(before, after, pass);
+    if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+        panic!("optimization pass '{pass}' broke a typing invariant: {d}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Node, Scheme};
+
+    fn well_typed() -> FheProgram {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(4);
+        let y = p.input(4);
+        let m = p.mul(x, y);
+        let d = p.mod_switch(m);
+        let w = p.plain_input(3);
+        let s = p.add_plain(d, w);
+        p.output(s);
+        p
+    }
+
+    #[test]
+    fn builder_programs_check_clean() {
+        assert!(check(&well_typed()).is_empty());
+    }
+
+    #[test]
+    fn type_drift_is_detected() {
+        let mut p = well_typed();
+        let ty = p.node(IrId(2)).ty;
+        p.raw_node_mut(IrId(2)).ty = ValType { depth: ty.depth + 7, ..ty };
+        let diags = check(&p);
+        assert!(diags.iter().any(|d| d.rule == "typing::type-drift"), "{diags:?}");
+    }
+
+    #[test]
+    fn ssa_violation_is_detected() {
+        let mut p = well_typed();
+        // Point the mul at a later node.
+        p.raw_node_mut(IrId(2)).op = FheOp::Mul(IrId(5), IrId(1));
+        let diags = check(&p);
+        assert!(diags.iter().any(|d| d.rule == "typing::ssa"), "{diags:?}");
+    }
+
+    #[test]
+    fn downstream_of_ill_node_is_not_double_reported() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(4);
+        let y = p.input(3);
+        // Force a level mismatch behind the builder's back, with users.
+        let bad =
+            p.raw_push(FheOp::Add(x, y), ValType { plain: false, level: 4, scale: 0, depth: 0 });
+        let r = p.aut(bad, 3);
+        p.output(r);
+        let diags = check(&p);
+        let errs: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(errs, vec!["typing::level-mismatch"], "{diags:?}");
+    }
+
+    #[test]
+    fn interface_survives_legit_optimization() {
+        let p = well_typed();
+        let before = interface(&p);
+        let (q, _) = p.optimize();
+        assert!(verify_step(&before, &q, "pipeline").is_empty());
+    }
+
+    #[test]
+    fn interface_catches_output_type_change() {
+        let p = well_typed();
+        let before = interface(&p);
+        let mut q = p;
+        let out = *q.outputs().last().unwrap();
+        let ty = q.node(out).ty;
+        // Simulate a pass that silently dropped a level: rewrite the
+        // output node into a deeper mod-switch chain.
+        let op = q.node(out).op.clone();
+        *q.raw_node_mut(out) = Node { op, ty: ValType { level: ty.level - 1, ..ty } };
+        let diags = verify_step(&before, &q, "bogus");
+        assert!(diags.iter().any(|d| d.rule == "typing::interface"), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_ordinals_are_detected() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(4);
+        let y = p.input(4);
+        let s = p.add(x, y);
+        p.output(s);
+        p.raw_node_mut(y).op = FheOp::CtInput { level: 4, ordinal: 0 };
+        let diags = check(&p);
+        assert!(diags.iter().any(|d| d.rule == "typing::input-ordinals"), "{diags:?}");
+    }
+}

@@ -616,7 +616,7 @@ mod tests {
             }
         }
         let distinct = {
-            let mut h = hints.clone();
+            let mut h = hints;
             h.sort_unstable();
             h.dedup();
             h.len()

@@ -441,6 +441,31 @@ impl FheProgram {
         &self.outputs
     }
 
+    /// Mutable access to a node, bypassing the builder's typing rules.
+    /// Exists so the static analyzer's tests can construct ill-typed IR
+    /// that the safe builder refuses to produce; never use it to build
+    /// real programs.
+    #[doc(hidden)]
+    pub fn raw_node_mut(&mut self, v: IrId) -> &mut Node {
+        &mut self.nodes[v.0 as usize]
+    }
+
+    /// Appends a node with an arbitrary claimed type and no SSA check.
+    /// Test-only escape hatch; see [`FheProgram::raw_node_mut`].
+    #[doc(hidden)]
+    pub fn raw_push(&mut self, op: FheOp, ty: ValType) -> IrId {
+        let id = IrId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, ty });
+        id
+    }
+
+    /// Marks `x` as an output without the ciphertext check. Test-only
+    /// escape hatch; see [`FheProgram::raw_node_mut`].
+    #[doc(hidden)]
+    pub fn raw_output(&mut self, x: IrId) {
+        self.outputs.push(x);
+    }
+
     /// Level of a value.
     pub fn level_of(&self, v: IrId) -> usize {
         self.ty(v).level

@@ -67,7 +67,18 @@ impl OptStats {
 }
 
 /// Runs the full pipeline to a bounded fixpoint. See module docs.
+///
+/// Between every pass the typing validator re-proves the IR invariants
+/// and checks the program interface (output types, input ordinals)
+/// against the input program, panicking with the offending pass's name
+/// if a pass broke either. The validation is O(nodes) per pass — cheap
+/// next to the passes themselves — so it is always on, not debug-only.
 pub fn optimize(input: &FheProgram) -> (FheProgram, OptStats) {
+    let interface = crate::analysis::typing::interface(input);
+    let verified = |q: FheProgram, pass: &str| {
+        crate::analysis::typing::assert_verified(&interface, &q, pass);
+        q
+    };
     let mut p = input.clone();
     let mut stats = OptStats {
         nodes_before: p.nodes.len(),
@@ -78,11 +89,17 @@ pub fn optimize(input: &FheProgram) -> (FheProgram, OptStats) {
         stats.rounds += 1;
         let mut changed = 0usize;
         let (q, f) = constant_fold(&p);
+        let q = verified(q, "constant_fold");
         let (q, r) = rotation_dedup(&q);
+        let q = verified(q, "rotation_dedup");
         let (q, c1) = cse(&q);
+        let q = verified(q, "cse");
         let (q, h) = hoist_keyswitch(&q);
+        let q = verified(q, "hoist_keyswitch");
         let (q, c2) = cse(&q);
+        let q = verified(q, "cse#2");
         let (q, d) = dce(&q);
+        let q = verified(q, "dce");
         stats.folded += f;
         stats.rotations_merged += r;
         stats.cse_merged += c1 + c2;
@@ -199,7 +216,14 @@ pub fn constant_fold(p: &FheProgram) -> (FheProgram, usize) {
                 }
             }
             // x * 1 and x + 0 against compile-time constants collapse.
-            FheOp::MulPlain(a, c) if const_of(&p, r(c)).is_some_and(|v| v == [1]) => {
+            // Aliasing is only sound when the replacement value has the
+            // identical type: in CKKS, MulPlain(x, 1) carries scale
+            // x.scale + 1, so folding it away would silently drop a
+            // rescale obligation from every downstream type.
+            FheOp::MulPlain(a, c)
+                if const_of(&p, r(c)).is_some_and(|v| v == [1])
+                    && p.nodes[i].ty == p.nodes[r(a).0 as usize].ty =>
+            {
                 alias[i] = r(a).0;
                 rewrites += 1;
             }

@@ -40,6 +40,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod csr;
 pub mod cycle;
 pub mod dsl;
@@ -47,6 +48,7 @@ pub mod expand;
 pub mod ir;
 pub mod movement;
 
+pub use analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use cycle::CycleSchedule;
 pub use dsl::{CtId, HomOp, Program};
 pub use expand::{ExpandOptions, Expanded, KeySwitchChoice};

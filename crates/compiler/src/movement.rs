@@ -200,7 +200,7 @@ pub fn schedule(expanded: &Expanded, arch: &ArchConfig) -> MovePlan {
 pub fn schedule_with_order(
     expanded: &Expanded,
     arch: &ArchConfig,
-    order_override: Option<Vec<InstrId>>,
+    order_override: Option<&[InstrId]>,
 ) -> MovePlan {
     Scheduler::new(expanded, arch, order_override).run()
 }
@@ -252,12 +252,12 @@ impl<'a> Scheduler<'a> {
     fn new(
         expanded: &'a Expanded,
         arch: &'a ArchConfig,
-        order_override: Option<Vec<InstrId>>,
+        order_override: Option<&[InstrId]>,
     ) -> Self {
         let dfg = &expanded.dfg;
         let n_instr = dfg.instrs().len();
         let mut rank: Vec<u64> = dfg.instrs().iter().map(|i| i.priority).collect();
-        if let Some(order) = &order_override {
+        if let Some(order) = order_override {
             assert_eq!(order.len(), n_instr, "override must order every instruction");
             for (pos, &i) in order.iter().enumerate() {
                 rank[i.0 as usize] = pos as u64;

@@ -9,6 +9,7 @@
 
 use crate::keys::SecretKey;
 use crate::keyswitch::{DecompHint, GhsHint, KsScratch};
+use crate::noise;
 use crate::params::BgvParams;
 use f1_poly::crt;
 use f1_poly::rns::{Domain, RnsPoly};
@@ -224,8 +225,7 @@ impl KeySet {
         let mut b = a.mul(&s);
         b.add_assign(&te);
         b.add_assign(&m_poly);
-        let noise =
-            (t as f64).log2() + (self.params.error_eta as f64 / 2.0).sqrt().log2().max(0.0) + 1.0;
+        let noise = noise::fresh_est(t, self.params.error_eta);
         Ciphertext { a, b, noise_log2: noise, correction: 1, pt_modulus: t }
     }
 
@@ -294,7 +294,7 @@ impl Ciphertext {
         Self {
             a: self.a.add(&other.a),
             b: self.b.add(&other.b),
-            noise_log2: self.noise_log2.max(other.noise_log2) + 1.0,
+            noise_log2: noise::add_est(self.noise_log2, other.noise_log2),
             correction: self.correction,
             pt_modulus: self.pt_modulus,
         }
@@ -352,7 +352,7 @@ impl Ciphertext {
         Self {
             a: self.a.sub(&other.a),
             b: self.b.sub(&other.b),
-            noise_log2: self.noise_log2.max(other.noise_log2) + 1.0,
+            noise_log2: noise::add_est(self.noise_log2, other.noise_log2),
             correction: self.correction,
             pt_modulus: self.pt_modulus,
         }
@@ -388,7 +388,7 @@ impl Ciphertext {
         Self {
             a,
             b,
-            noise_log2: self.noise_log2 + (fr.max(1) as f64).log2(),
+            noise_log2: noise::scale_est(self.noise_log2, fr),
             correction: self.correction,
             pt_modulus: self.pt_modulus,
         }
@@ -420,9 +420,7 @@ impl Ciphertext {
         Self {
             a: self.a.mul(&mp),
             b: self.b.mul(&mp),
-            noise_log2: self.noise_log2
-                + (params.plaintext_modulus as f64).log2()
-                + (params.n as f64).log2() / 2.0,
+            noise_log2: noise::mul_plain_est(self.noise_log2, params.plaintext_modulus, params.n),
             correction: self.correction,
             pt_modulus: self.pt_modulus,
         }
@@ -463,7 +461,7 @@ impl Ciphertext {
         Self {
             a,
             b,
-            noise_log2: self.noise_log2 + other.noise_log2 + (self.a.n() as f64).log2(),
+            noise_log2: noise::mul_est(self.noise_log2, other.noise_log2, self.a.n()),
             correction: mul_mod_u64(self.correction, other.correction, self.pt_modulus),
             pt_modulus: self.pt_modulus,
         }
@@ -484,7 +482,7 @@ impl Ciphertext {
         Self {
             a,
             b,
-            noise_log2: self.noise_log2 + other.noise_log2 + (self.a.n() as f64).log2(),
+            noise_log2: noise::mul_est(self.noise_log2, other.noise_log2, self.a.n()),
             correction: mul_mod_u64(self.correction, other.correction, self.pt_modulus),
             pt_modulus: self.pt_modulus,
         }
@@ -519,7 +517,7 @@ impl Ciphertext {
         Self {
             a: u1,
             b,
-            noise_log2: self.noise_log2 + 2.0,
+            noise_log2: noise::aut_est(self.noise_log2),
             correction: self.correction,
             pt_modulus: self.pt_modulus,
         }
@@ -548,8 +546,12 @@ impl Ciphertext {
             b: mod_switch_poly(&self.b, t),
             // Noise shrinks by log2(q_l) but gains the rounding term
             // ~ t * |s|_1; net effect tracked coarsely.
-            noise_log2: (self.noise_log2 - 29.0)
-                .max((t as f64).log2() + (self.a.n() as f64).log2()),
+            noise_log2: noise::mod_switch_est(
+                self.noise_log2,
+                (q_top as f64).log2(),
+                t,
+                self.a.n(),
+            ),
             correction: mul_mod_u64(self.correction, q_top_inv_t, t),
             pt_modulus: self.pt_modulus,
         }

@@ -372,7 +372,7 @@ impl CkksBootstrapper {
         // Horner: E = c_d; E = E*(iθ) + c_k. E*(iθ) = (-im*θ, re*θ).
         let zero = theta.mul_scalar_f64(0.0, self.params.scale);
         let mut re = zero.add_const(inv_fact[self.taylor_degree]);
-        let mut im = zero.clone();
+        let mut im = zero;
         for k in (0..self.taylor_degree).rev() {
             let new_re = im.mul(theta, keys.relin_hint()).neg().add_const(inv_fact[k]);
             let new_im = re.mul(theta, keys.relin_hint());

@@ -50,6 +50,7 @@ pub mod encoding;
 pub mod gsw;
 pub mod keys;
 pub mod keyswitch;
+pub mod noise;
 pub mod params;
 
 pub use params::{BgvParams, CkksParams};

@@ -1,0 +1,384 @@
+//! Noise accounting shared by the runtime schemes and the static
+//! analyzer (§2.2.2).
+//!
+//! Two families of formulas live here, both in the `log2` domain:
+//!
+//! - **Tracked estimates** (`*_est`): the heuristic recurrences the
+//!   runtime [`crate::bgv::Ciphertext`] carries in `noise_log2`. These
+//!   follow average-case growth and are what the scheme code has always
+//!   used; they are *estimates*, not bounds.
+//! - **Worst-case bounds** (`NoiseModel::wc_*`): sound upper bounds on
+//!   the noise magnitude `|t·e|` (infinity norm of the decryption
+//!   residue), derived from the centered-binomial error bound `|e| ≤ η`
+//!   and per-coefficient magnitudes. The compiler's static noise-budget
+//!   analysis interprets programs over these; the differential proptests
+//!   in `tests/ir_differential.rs` check the bound dominates measured
+//!   noise on the real BGV stack.
+//!
+//! Only the BGV bounds are validated against a real executor; the CKKS
+//! and GSW models follow the same derivation style but are
+//! heuristic-grade until those schemes gain functional executors (the
+//! analyzer accordingly caps their findings at warning severity).
+
+use crate::params::{CKKS_LIMB_BITS, LIMB_BITS};
+
+/// `log2(2^a + 2^b)` — addition of magnitudes carried in the log domain.
+///
+/// Tolerates `-inf` (the magnitude of an exactly-zero term, e.g. the
+/// noise of an unencrypted operand).
+pub fn log2_add(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if lo == f64::NEG_INFINITY || hi - lo > 64.0 {
+        return hi;
+    }
+    hi + (1.0 + (lo - hi).exp2()).log2()
+}
+
+/// Tracked estimate for a fresh encryption: `log2(t) + log2(σ) + 1` with
+/// `σ ≈ sqrt(η/2)` the error standard deviation.
+pub fn fresh_est(t: u64, eta: u32) -> f64 {
+    (t as f64).log2() + (eta as f64 / 2.0).sqrt().log2().max(0.0) + 1.0
+}
+
+/// Tracked estimate for homomorphic addition/subtraction.
+pub fn add_est(a: f64, b: f64) -> f64 {
+    a.max(b) + 1.0
+}
+
+/// Tracked estimate for ciphertext-ciphertext multiplication (tensor +
+/// key-switch): noises multiply and pick up a ring-convolution factor.
+pub fn mul_est(a: f64, b: f64, n: usize) -> f64 {
+    a + b + (n as f64).log2()
+}
+
+/// Tracked estimate for plaintext multiplication: the plaintext operand
+/// contributes its magnitude (≤ t) times the average convolution growth.
+pub fn mul_plain_est(a: f64, t: u64, n: usize) -> f64 {
+    a + (t as f64).log2() + (n as f64).log2() / 2.0
+}
+
+/// Tracked estimate for a homomorphic automorphism (key-switch additive
+/// noise, small relative to the operand).
+pub fn aut_est(a: f64) -> f64 {
+    a + 2.0
+}
+
+/// Tracked estimate for BGV modulus switching: noise shrinks by the
+/// dropped limb's width but cannot fall below the rounding floor
+/// `~ t * |s|_1`.
+pub fn mod_switch_est(a: f64, log2_q_top: f64, t: u64, n: usize) -> f64 {
+    (a - log2_q_top).max((t as f64).log2() + (n as f64).log2())
+}
+
+/// Tracked estimate for scaling both polynomials by a centered factor
+/// `|f| = fr` (correction alignment).
+pub fn scale_est(a: f64, fr: u32) -> f64 {
+    a + (fr.max(1) as f64).log2()
+}
+
+/// Which scheme's recurrences a [`NoiseModel`] uses where the formulas
+/// differ (multiplication and level changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseScheme {
+    /// BGV: exact integers mod `t`, noise is `|t·e|`.
+    Bgv,
+    /// CKKS: fixed-point; "noise" is the error under the scale.
+    Ckks,
+    /// GSW: matrix ciphertexts driving external products.
+    Gsw,
+}
+
+/// A static noise model: everything the abstract interpreter needs to
+/// evaluate per-op noise growth without a key or a ciphertext.
+///
+/// Limb widths are taken conservatively: generated chain primes of
+/// `limb_bits` bits lie in `[2^(limb_bits-1), 2^limb_bits)`, so the model
+/// uses `limb_bits - 1` as each limb's guaranteed width when *crediting*
+/// modulus (budget, mod-switch reduction) — an under-estimate of capacity
+/// and of noise reduction, hence sound in both uses.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Ring dimension `N`.
+    pub n: usize,
+    /// Bits per RNS limb prime.
+    pub limb_bits: u32,
+    /// `log2` of the plaintext modulus `t` (BGV), of the scale Δ (CKKS),
+    /// or `1` bit (GSW bit plaintexts).
+    pub log2_t: f64,
+    /// `log2` of the centered-binomial error bound η.
+    pub log2_eta: f64,
+    /// Scheme selector for the recurrences that differ.
+    pub scheme: NoiseScheme,
+}
+
+impl NoiseModel {
+    /// BGV model for plaintext modulus `t` and error parameter `eta`.
+    pub fn bgv(n: usize, t: u64, eta: u32) -> Self {
+        Self {
+            n,
+            limb_bits: LIMB_BITS,
+            log2_t: (t as f64).log2(),
+            log2_eta: (eta as f64).log2(),
+            scheme: NoiseScheme::Bgv,
+        }
+    }
+
+    /// BGV model at the workload defaults (`t = 65537`, `η = 8`).
+    pub fn bgv_default(n: usize) -> Self {
+        Self::bgv(n, 65537, 8)
+    }
+
+    /// CKKS model at the workload defaults (Δ = 2^25, `η = 4`).
+    pub fn ckks(n: usize) -> Self {
+        Self {
+            n,
+            limb_bits: CKKS_LIMB_BITS,
+            log2_t: f64::from(CKKS_LIMB_BITS),
+            log2_eta: 2.0,
+            scheme: NoiseScheme::Ckks,
+        }
+    }
+
+    /// GSW model (bit plaintexts, BGV-width limbs, `η = 8`).
+    pub fn gsw(n: usize) -> Self {
+        Self { n, limb_bits: LIMB_BITS, log2_t: 1.0, log2_eta: 3.0, scheme: NoiseScheme::Gsw }
+    }
+
+    /// `log2 N`.
+    fn log2_n(&self) -> f64 {
+        (self.n as f64).log2()
+    }
+
+    /// Guaranteed (lower-bound) `log2 Q_l` at `level` limbs.
+    pub fn log2_q(&self, level: usize) -> f64 {
+        level as f64 * f64::from(self.limb_bits - 1)
+    }
+
+    /// Decryption-correctness ceiling at `level`: noise above
+    /// `log2(Q_l / 2)` breaks decryption (§2.2.2). The remaining margin
+    /// for a node is `budget_bits(level) - noise`.
+    pub fn budget_bits(&self, level: usize) -> f64 {
+        self.log2_q(level) - 1.0
+    }
+
+    // ---- tracked estimates (the runtime recurrences, statically) ----
+
+    /// Estimate for a ciphertext input encrypted at some level
+    /// (`log2(t·σ) + 1` with `σ = sqrt(η/2)`).
+    pub fn est_fresh(&self) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv => self.log2_t + ((self.log2_eta - 1.0) / 2.0).max(0.0) + 1.0,
+            // CKKS/GSW fresh noise is the raw error, not t-scaled.
+            NoiseScheme::Ckks | NoiseScheme::Gsw => self.log2_eta + 1.0,
+        }
+    }
+
+    /// Estimate for addition.
+    pub fn est_add(&self, a: f64, b: f64) -> f64 {
+        add_est(a, b)
+    }
+
+    /// Estimate for ciphertext multiplication at `level` limbs.
+    pub fn est_mul(&self, a: f64, b: f64, level: usize) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Ckks => mul_est(a, b, self.n),
+            // GSW external product: additive growth by N·l·2^limb.
+            NoiseScheme::Gsw => {
+                log2_add(a, b)
+                    + self.log2_n()
+                    + f64::from(self.limb_bits)
+                    + (level.max(1) as f64).log2()
+            }
+        }
+    }
+
+    /// Estimate for plaintext multiplication.
+    pub fn est_mul_plain(&self, a: f64) -> f64 {
+        a + self.log2_t + self.log2_n() / 2.0
+    }
+
+    /// Estimate for an automorphism.
+    pub fn est_aut(&self, a: f64) -> f64 {
+        aut_est(a)
+    }
+
+    /// Estimate for modulus switching / rescaling *from* `level`.
+    pub fn est_mod_switch(&self, a: f64, _level: usize) -> f64 {
+        let floor = match self.scheme {
+            NoiseScheme::Bgv => self.log2_t + self.log2_n(),
+            NoiseScheme::Ckks | NoiseScheme::Gsw => self.log2_eta + 1.0,
+        };
+        // The dropped limb is at least 2^(limb_bits - 1) — credit only
+        // the guaranteed width.
+        (a - f64::from(self.limb_bits - 1)).max(floor)
+    }
+
+    /// Estimate for correction-factor alignment before an addition whose
+    /// operands carry different factors (scale by ≤ t/2).
+    pub fn est_align(&self, a: f64) -> f64 {
+        a + (self.log2_t - 1.0).max(0.0)
+    }
+
+    // ---- worst-case bounds (sound for BGV) ----
+
+    /// Bound on fresh-encryption noise: `|t·e| ≤ t·η`.
+    pub fn wc_fresh(&self) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv => self.log2_t + self.log2_eta,
+            NoiseScheme::Ckks | NoiseScheme::Gsw => self.log2_eta + 1.0,
+        }
+    }
+
+    /// Bound on key-switch additive noise at `level` limbs:
+    /// `l · N · 2^limb_bits · t · η` (limb decomposition, one row per
+    /// limb, each row's error `t·e` convolved with a limb-sized digit).
+    pub fn wc_keyswitch(&self, level: usize) -> f64 {
+        (level.max(1) as f64).log2()
+            + self.log2_n()
+            + f64::from(self.limb_bits)
+            + self.log2_t
+            + self.log2_eta
+    }
+
+    /// Bound on addition of aligned operands: `n_a + n_b + 2t` (the sum
+    /// of plaintexts re-centers mod t, absorbing ≤ 2·(t/2) into noise).
+    pub fn wc_add(&self, a: f64, b: f64) -> f64 {
+        log2_add(log2_add(a, b), self.log2_t + 1.0)
+    }
+
+    /// Bound on correction-factor alignment: scaling by a centered
+    /// factor `|f| ≤ t/2` gives `(t/2)·(n + t/2) + t`.
+    pub fn wc_align(&self, a: f64) -> f64 {
+        let half_t = self.log2_t - 1.0;
+        log2_add(log2_add(a + half_t, 2.0 * half_t), self.log2_t)
+    }
+
+    /// Bound on ciphertext multiplication at `level` limbs:
+    /// `N·(n_a + t/2)·(n_b + t/2) + t + ks(level)` — the phase product
+    /// convolves the full phases (noise plus embedded plaintext), then
+    /// the embedded product re-centers mod t, then relinearization adds
+    /// its key-switch noise.
+    pub fn wc_mul(&self, a: f64, b: f64, level: usize) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Ckks => {
+                let half_t = self.log2_t - 1.0;
+                let phases = log2_add(a, half_t) + log2_add(b, half_t);
+                log2_add(log2_add(self.log2_n() + phases, self.log2_t), self.wc_keyswitch(level))
+            }
+            NoiseScheme::Gsw => {
+                log2_add(a, b)
+                    + self.log2_n()
+                    + f64::from(self.limb_bits)
+                    + (level.max(1) as f64).log2()
+            }
+        }
+    }
+
+    /// Bound on plaintext multiplication: `N·(t/2)·(n + t/2) + t`.
+    pub fn wc_mul_plain(&self, a: f64) -> f64 {
+        let half_t = self.log2_t - 1.0;
+        log2_add(self.log2_n() + half_t + log2_add(a, half_t), self.log2_t)
+    }
+
+    /// Bound on an automorphism: the permuted noise plus the key-switch
+    /// of the permuted mask, `n + ks(level) + t`.
+    pub fn wc_aut(&self, a: f64, level: usize) -> f64 {
+        log2_add(log2_add(a, self.wc_keyswitch(level)), self.log2_t)
+    }
+
+    /// Bound on modulus switching from `level`: the noise divides by the
+    /// dropped prime (credited at its guaranteed width) and gains the
+    /// rounding term `t·(N + 2)` from the δ-correction.
+    pub fn wc_mod_switch(&self, a: f64, _level: usize) -> f64 {
+        let rounding = match self.scheme {
+            NoiseScheme::Bgv => self.log2_t + (self.n as f64 + 2.0).log2(),
+            NoiseScheme::Ckks | NoiseScheme::Gsw => (self.n as f64 + 2.0).log2(),
+        };
+        log2_add(a - f64::from(self.limb_bits - 1), rounding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgv::{KeySet, Plaintext};
+    use crate::params::BgvParams;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log2_add_basics() {
+        assert!((log2_add(3.0, 3.0) - 4.0).abs() < 1e-12);
+        assert!((log2_add(10.0, f64::NEG_INFINITY) - 10.0).abs() < 1e-12);
+        assert!((log2_add(0.0, 10.0) - log2_add(10.0, 0.0)).abs() < 1e-12);
+        // Far-apart terms collapse to the max.
+        assert_eq!(log2_add(200.0, 1.0), 200.0);
+    }
+
+    #[test]
+    fn worst_case_dominates_estimate_per_op() {
+        let m = NoiseModel::bgv_default(1 << 14);
+        let a = 40.0;
+        let b = 35.0;
+        assert!(m.wc_fresh() >= m.est_fresh() - 2.0, "fresh: wc within σ slack of est");
+        // est_add = max + 1 overshoots wc for unequal operands; equality
+        // is the worst case and there wc must still dominate.
+        assert!(m.wc_add(a, a) >= m.est_add(a, a));
+        assert!(m.wc_mul(a, b, 8) >= m.est_mul(a, b, 8));
+        assert!(m.wc_mul_plain(a) >= m.est_mul_plain(a));
+        assert!(m.wc_aut(a, 8) >= m.est_aut(a));
+        assert!(m.wc_mod_switch(a, 8) >= m.est_mod_switch(a, 8));
+        assert!(m.wc_align(a) >= m.est_align(a));
+    }
+
+    #[test]
+    fn wc_bounds_measured_noise_on_real_bgv() {
+        // Spot soundness check against the real scheme at a small ring;
+        // the full differential proptest lives in tests/ir_differential.rs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x2015E);
+        let n = 64usize;
+        let params = BgvParams::test_small(n, 4);
+        let keys = KeySet::generate(&params, &mut rng);
+        let model = NoiseModel::bgv(n, params.plaintext_modulus, params.error_eta);
+
+        let m1 = Plaintext::from_coeffs(&params, &[7, 65535, 3]);
+        let m2 = Plaintext::from_coeffs(&params, &[12345, 1]);
+        let c1 = keys.encrypt(&m1, &mut rng);
+        let c2 = keys.encrypt(&m2, &mut rng);
+        let fresh_wc = model.wc_fresh();
+        assert!(fresh_wc >= keys.decrypt_noise(&c1), "fresh bound");
+
+        let sum = c1.add(&c2);
+        let sum_wc = model.wc_add(fresh_wc, fresh_wc);
+        assert!(sum_wc >= keys.decrypt_noise(&sum), "add bound");
+
+        let prod = c1.mul(&c2, keys.relin_hint());
+        let prod_wc = model.wc_mul(fresh_wc, fresh_wc, 4);
+        assert!(prod_wc >= keys.decrypt_noise(&prod), "mul bound");
+
+        let down = prod.mod_switch(&params);
+        let down_wc = model.wc_mod_switch(prod_wc, 4);
+        assert!(down_wc >= keys.decrypt_noise(&down), "mod-switch bound");
+
+        let rot = {
+            let mut keys = keys;
+            keys.add_rotation_hint(3, &mut rng);
+            let r = sum.automorphism(3, keys.rotation_hint(3));
+            let aut_wc = model.wc_aut(sum_wc, 4);
+            assert!(aut_wc >= keys.decrypt_noise(&r), "aut bound");
+            r
+        };
+        drop(rot);
+    }
+
+    #[test]
+    fn budget_is_conservative_vs_real_chain() {
+        // The model's log2_q must under-estimate the real chain width so
+        // "fits the budget" statically implies it fits at runtime.
+        let params = BgvParams::test_small(64, 6);
+        let model = NoiseModel::bgv(64, params.plaintext_modulus, params.error_eta);
+        for l in 1..=6usize {
+            let real = f64::from(params.context().log_q(l));
+            assert!(model.log2_q(l) <= real, "level {l}: model {} > real {real}", model.log2_q(l));
+        }
+    }
+}

@@ -410,9 +410,9 @@ mod tests {
         let a = random_poly(n, q, &mut rng);
         let b = random_poly(n, q, &mut rng);
         let sum: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
-        let mut fa = a.clone();
-        let mut fb = b.clone();
-        let mut fsum = sum.clone();
+        let mut fa = a;
+        let mut fb = b;
+        let mut fsum = sum;
         t.forward(&mut fa);
         t.forward(&mut fb);
         t.forward(&mut fsum);

@@ -551,7 +551,7 @@ impl RnsPoly {
         {
             match self.domain {
                 Domain::Coefficient => {
-                    automorphism::apply_coeff_into(src, k, &self.ctx.moduli[i], dst)
+                    automorphism::apply_coeff_into(src, k, &self.ctx.moduli[i], dst);
                 }
                 Domain::Ntt => automorphism::apply_ntt_into(src, k, dst),
             }

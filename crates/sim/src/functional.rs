@@ -40,6 +40,10 @@ pub struct BgvExecutor {
 pub struct FunctionalRun {
     /// Decrypted outputs, in program-output order.
     pub outputs: Vec<Plaintext>,
+    /// Measured log2 noise magnitude of each output ciphertext at
+    /// decryption time (same order as `outputs`) — the ground truth the
+    /// compiler's static noise bounds are validated against.
+    pub output_noise: Vec<f64>,
     /// Wall-clock time of the homomorphic evaluation only (encryption and
     /// decryption excluded, as in the paper's baselines).
     pub eval_time: Duration,
@@ -136,8 +140,10 @@ impl BgvExecutor {
             }
         }
         let eval_time = start.elapsed();
+        let output_noise =
+            program.outputs().iter().map(|o| self.keys.decrypt_noise(&cts[o])).collect();
         let outputs = program.outputs().iter().map(|o| self.keys.decrypt(&cts[o])).collect();
-        FunctionalRun { outputs, eval_time, hom_ops }
+        FunctionalRun { outputs, output_noise, eval_time, hom_ops }
     }
 }
 

@@ -28,5 +28,5 @@ pub mod functional;
 pub mod replay;
 
 pub use checker::{check_schedule, SimReport, Timeline};
-pub use functional::{bind_constants, BgvExecutor};
+pub use functional::{bind_constants, BgvExecutor, FunctionalRun};
 pub use replay::{eval_dfg, mock_inputs, replay_schedule};

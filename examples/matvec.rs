@@ -41,7 +41,7 @@ fn main() {
         );
         inputs.insert(ct(id), enc.encode(&[row.clone(), row], &params));
     }
-    inputs.insert(ct(v), enc.encode(&[vec_data.clone(), vec_data.clone()], &params));
+    inputs.insert(ct(v), enc.encode(&[vec_data.clone(), vec_data], &params));
     let run = exec.run(&lowered.program, &inputs, &HashMap::new(), &mut rng);
     for (r, out) in run.outputs.iter().enumerate() {
         let got = enc.decode(out)[0][0];

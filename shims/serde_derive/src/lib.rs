@@ -5,6 +5,7 @@
 //! tree), so these derives expand to nothing. Swapping in the real serde
 //! is purely a manifest change.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use proc_macro::TokenStream;

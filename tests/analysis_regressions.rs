@@ -1,0 +1,95 @@
+//! Regressions pinned by the static analysis framework.
+//!
+//! The between-pass typing validator (wired into `optimize()`) caught a
+//! real miscompile on its first run over the suite: `constant_fold`'s
+//! `x * 1` identity rewrite aliased a CKKS `MulPlain` to its operand
+//! even though the two differ in scale (`MulPlain` adds the plaintext's
+//! scale), silently dropping a rescale obligation from every downstream
+//! type. These tests pin the fix and keep the validator exercised on
+//! the full benchmark suite.
+
+use f1::compiler::analysis::{self, typing};
+use f1::compiler::ir::{FheProgram, Scheme};
+
+/// A CKKS program whose only simplification opportunity is `x * 1`.
+fn ckks_times_one() -> FheProgram {
+    let mut p = FheProgram::new(1 << 10, Scheme::Ckks);
+    let x = p.input(4);
+    let one = p.scalar(1, 4);
+    let m = p.mul_plain(x, one); // scale 2: carries a rescale obligation
+    let r = p.rescale(m); // back to scale 1
+    let s = p.square(r);
+    p.output(s);
+    p
+}
+
+#[test]
+fn ckks_mul_by_one_is_not_folded_into_a_scale_drift() {
+    let p = ckks_times_one();
+    let before = typing::interface(&p);
+    // With the unsound fold this panicked inside optimize(): the pass
+    // validator flagged constant_fold for drifting the output scale.
+    let (opt, _) = p.optimize();
+    assert!(
+        typing::verify_step(&before, &opt, "optimize").is_empty(),
+        "optimized CKKS program drifted its interface"
+    );
+    // The multiplication by 1 must survive: its scale contribution is
+    // semantically meaningful in CKKS.
+    assert_eq!(
+        p.node(*p.outputs().first().unwrap()).ty.scale,
+        opt.node(*opt.outputs().first().unwrap()).ty.scale,
+        "output scale changed under optimization"
+    );
+    assert!(typing::check(&opt).is_empty(), "optimized program is ill-typed");
+}
+
+#[test]
+fn bgv_mul_by_one_still_folds() {
+    // The same shape in BGV (scale is identically 0) must keep folding.
+    let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+    let x = p.input(4);
+    let one = p.scalar(1, 4);
+    let m = p.mul_plain(x, one);
+    let s = p.square(m);
+    p.output(s);
+    let (opt, stats) = p.optimize();
+    assert!(stats.folded >= 1, "BGV x*1 no longer folds: {stats:?}");
+    assert!(typing::check(&opt).is_empty());
+}
+
+#[test]
+fn every_benchmark_passes_between_pass_verification() {
+    // Benchmark::finish runs optimize(), which now asserts the typing
+    // interface after every pass — so building the suite is itself the
+    // test. Re-check the final programs explicitly for good measure.
+    for b in f1::workloads::all_benchmarks(8) {
+        let before = typing::interface(&b.fhe);
+        let (opt, _) = b.fhe.optimize();
+        assert!(
+            typing::verify_step(&before, &opt, "optimize").is_empty(),
+            "{}: optimized program drifted its interface",
+            b.name
+        );
+        assert!(typing::check(&opt).is_empty(), "{}: ill-typed after optimize", b.name);
+    }
+}
+
+#[test]
+fn analyzer_reports_no_errors_on_the_benchmark_suite() {
+    for b in f1::workloads::all_benchmarks(8) {
+        let mut analyzer = analysis::Analyzer::new();
+        if let Some(why) = b.noise_waiver() {
+            analyzer.registry_mut().override_severity(
+                "noise::budget-exhausted",
+                analysis::Severity::Warning,
+                why,
+            );
+        }
+        let (opt, _) = b.fhe.optimize();
+        let report = analyzer.analyze(&opt);
+        let errors: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.severity == analysis::Severity::Error).collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", b.name);
+    }
+}

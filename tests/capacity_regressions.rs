@@ -18,7 +18,7 @@ fn csr_ablation_bites_at_4mb() {
     let base_plan = f1::compiler::movement::schedule(&ex, &tiny);
     let base = f1::compiler::cycle::schedule(&ex, &base_plan, &tiny).makespan;
     let order = f1::compiler::csr::csr_order(&ex.dfg).expect("matvec is CSR-tractable");
-    let csr_plan = f1::compiler::movement::schedule_with_order(&ex, &tiny, Some(order));
+    let csr_plan = f1::compiler::movement::schedule_with_order(&ex, &tiny, Some(&order));
     let csr = f1::compiler::cycle::schedule(&ex, &csr_plan, &tiny).makespan;
     let ratio = csr as f64 / base as f64;
     assert!(ratio >= 1.05, "CSR@4MB ratio {ratio:.3} regressed below 1.05x");

@@ -65,7 +65,7 @@ fn whole_suite_double_compiles_identically_at_test_scale() {
 fn ir_optimize_lower_is_deterministic() {
     // The frontend half of the pipeline: optimize + lower twice, same
     // DSL program out (ids included).
-    let build = || lola_mnist_uw(8).fhe.clone();
+    let build = || lola_mnist_uw(8).fhe;
     let (o1, s1) = build().optimize();
     let (o2, s2) = build().optimize();
     assert_eq!(format!("{o1:?}"), format!("{o2:?}"));

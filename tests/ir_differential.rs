@@ -6,8 +6,10 @@
 //! `f1-sim::replay` under a thrashing scratchpad.
 
 use f1::arch::ArchConfig;
+use f1::compiler::analysis::noise as noise_analysis;
 use f1::compiler::ir::{FheProgram, IrId, Scheme};
 use f1::fhe::bgv::Plaintext;
+use f1::fhe::noise::NoiseModel;
 use f1::fhe::params::BgvParams;
 use f1::sim::{bind_constants, BgvExecutor};
 use proptest::prelude::*;
@@ -53,13 +55,14 @@ fn build_fhe(n: usize, start_level: usize, choices: &[(u8, u8)]) -> FheProgram {
 }
 
 /// Runs a lowered variant functionally with inputs bound by build-time
-/// ordinal, returning the decrypted outputs.
+/// ordinal, returning the full run (decrypted outputs plus measured
+/// noise).
 fn run_functional(
     fhe: &FheProgram,
     params: &BgvParams,
     ct_data: &[Plaintext],
     pt_data: &[Plaintext],
-) -> Vec<Plaintext> {
+) -> f1::sim::FunctionalRun {
     let lowered = fhe.lower();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x1D1F);
     let exec = BgvExecutor::new(params.clone(), &lowered.program, &mut rng);
@@ -71,8 +74,7 @@ fn run_functional(
     for &(ordinal, id) in &lowered.pt_inputs {
         plains.insert(id, pt_data[ordinal as usize].clone());
     }
-    let run = exec.run(&lowered.program, &inputs, &plains, &mut rng);
-    run.outputs
+    exec.run(&lowered.program, &inputs, &plains, &mut rng)
 }
 
 proptest! {
@@ -97,8 +99,8 @@ proptest! {
         let pt_data: Vec<Plaintext> = (0..16)
             .map(|i| Plaintext::from_coeffs(&params, &[(2 * i + 1) as u64]))
             .collect();
-        let out_u = run_functional(&fhe, &params, &ct_data, &pt_data);
-        let out_o = run_functional(&opt, &params, &ct_data, &pt_data);
+        let out_u = run_functional(&fhe, &params, &ct_data, &pt_data).outputs;
+        let out_o = run_functional(&opt, &params, &ct_data, &pt_data).outputs;
         prop_assert_eq!(out_u.len(), out_o.len());
         for (i, (u, o)) in out_u.iter().zip(&out_o).enumerate() {
             for j in 0..n {
@@ -154,5 +156,41 @@ proptest! {
             );
         }
         let _ = IrId(0);
+    }
+
+    #[test]
+    fn static_noise_bound_dominates_measured_noise(
+        recipe in proptest::collection::vec((0u8..8, 0u8..16), 1..12)
+    ) {
+        // Soundness of the compiler's noise abstract interpretation: on
+        // every random program — optimized and unoptimized — the static
+        // worst-case bound at each output must dominate the noise a real
+        // BGV execution actually accumulates there.
+        let n = 64usize;
+        let fhe = build_fhe(n, 4, &recipe);
+        let (opt, _) = fhe.optimize();
+
+        let params = BgvParams::test_small(n, 4);
+        let model = NoiseModel::bgv(n, params.plaintext_modulus, params.error_eta);
+        let ct_data: Vec<Plaintext> = (0..16)
+            .map(|i| Plaintext::from_coeffs(&params, &[(3 * i + 1) as u64, (i % 5) as u64]))
+            .collect();
+        let pt_data: Vec<Plaintext> = (0..16)
+            .map(|i| Plaintext::from_coeffs(&params, &[(2 * i + 1) as u64]))
+            .collect();
+        for (which, variant) in [("unoptimized", &fhe), ("optimized", &opt)] {
+            let report = noise_analysis::analyze_with(variant, model.clone());
+            let run = run_functional(variant, &params, &ct_data, &pt_data);
+            prop_assert_eq!(variant.outputs().len(), run.output_noise.len());
+            for (i, &o) in variant.outputs().iter().enumerate() {
+                let bound = report.facts[o.0 as usize].wc;
+                let measured = run.output_noise[i];
+                prop_assert!(
+                    measured <= bound,
+                    "{} output {}: measured noise 2^{:.1} exceeds static bound 2^{:.1}",
+                    which, i, measured, bound
+                );
+            }
+        }
     }
 }

@@ -121,7 +121,7 @@ proptest! {
         let ex = f1::compiler::expand::expand(&p, &ExpandOptions::default());
         if let Some(order) = f1::compiler::csr::csr_order(&ex.dfg) {
             let arch = ArchConfig::f1_default();
-            let plan = f1::compiler::movement::schedule_with_order(&ex, &arch, Some(order));
+            let plan = f1::compiler::movement::schedule_with_order(&ex, &arch, Some(&order));
             let cycles = f1::compiler::cycle::schedule(&ex, &plan, &arch);
             let report = f1::sim::check_schedule(&ex, &plan, &cycles, &arch);
             prop_assert!(report.makespan > 0);
