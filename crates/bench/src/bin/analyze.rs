@@ -10,18 +10,26 @@
 //! The output is deterministic (the analyses are pure functions of the
 //! IR), so CI regenerates it and diffs against the committed file: any
 //! drift in node counts, noise margins or diagnostics shows up as a
-//! reviewable diff. The process exits 1 if any benchmark carries an
-//! Error-severity diagnostic after the recorded waivers are applied, so
-//! the same run is the merge gate.
+//! reviewable diff.
 //!
-//! Waivers come from [`f1_workloads::Benchmark::noise_waiver`] — the
-//! bootstrapping workloads deliberately exhaust their noise budget
-//! before refreshing — and each is recorded in the JSON next to the
-//! findings it downgraded.
+//! Each benchmark is analyzed twice:
+//!
+//! * **hand-managed** — the paper-faithful program at Table 3's `(N, L)`.
+//!   Its margins are reported as numbers only; `noise::budget-exhausted`
+//!   is demoted to Info ([`Benchmark::HAND_MANAGED_NOTE`]) because the
+//!   paper's own parameters under-provision the deep benchmarks and that
+//!   is a property of the reproduction target, not a bug.
+//! * **managed** — the same circuit after `insert_rescales` +
+//!   `param_search`: hand-placed switches dropped, placement re-derived
+//!   under the policy, and the smallest `(N, L)` with a ≥ 8-bit
+//!   worst-case margin found. This is the merge gate: the process exits
+//!   1 if any managed program carries an Error-severity diagnostic or
+//!   fails the search.
 
 use f1_arch::ArchConfig;
+use f1_compiler::analysis::param_search::{search, SearchSpec};
 use f1_compiler::analysis::{Analyzer, Severity};
-use f1_workloads::all_benchmarks;
+use f1_workloads::{all_benchmarks, Benchmark};
 
 /// JSON string escaping for the few metacharacters diagnostics can hold.
 fn esc(s: &str) -> String {
@@ -45,27 +53,32 @@ fn main() {
         .unwrap_or_else(|| "ANALYSIS.json".to_string());
 
     let arch = ArchConfig::f1_default();
+    let spec = SearchSpec::default();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"f1-analysis-v1\",\n");
+    out.push_str("  \"schema\": \"f1-analysis-v2\",\n");
     out.push_str("  \"scale\": 1,\n");
+    out.push_str(&format!(
+        "  \"managed_spec\": {{\"target_margin_bits\": {:.1}, \"min_security_bits\": {:.1}, \"policy\": \"{}\"}},\n",
+        spec.target_margin_bits,
+        spec.min_security_bits,
+        spec.policy.label()
+    ));
     out.push_str("  \"benchmarks\": [\n");
 
     let benchmarks = all_benchmarks(1);
     let mut total_errors = 0usize;
     println!(
-        "{:<28} {:>6} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6}",
-        "benchmark", "nodes", "opt", "wc-margin", "est-marg.", "spills", "errs", "warns"
+        "{:<28} {:>6} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9} {:>6}",
+        "benchmark", "nodes", "opt", "wc-margin", "est-marg.", "L*", "N*", "wc-mgd", "errs"
     );
     for (bi, b) in benchmarks.iter().enumerate() {
         let mut analyzer = Analyzer::new().with_arch(arch.clone());
-        if let Some(why) = b.noise_waiver() {
-            analyzer.registry_mut().override_severity(
-                "noise::budget-exhausted",
-                Severity::Warning,
-                why,
-            );
-        }
+        analyzer.registry_mut().override_severity(
+            "noise::budget-exhausted",
+            Severity::Info,
+            Benchmark::HAND_MANAGED_NOTE,
+        );
         let (opt, _) = b.fhe.optimize();
         let report = analyzer.analyze(&opt);
         let errors = report.count(Severity::Error);
@@ -73,16 +86,29 @@ fn main() {
         let infos = report.count(Severity::Info);
         total_errors += errors;
 
+        // The merge gate: re-derive switch placement, search the
+        // smallest (N, L) with the target margin, and analyze that
+        // program with NO severity overrides.
+        let found = search(&b.fhe, &spec);
+        let managed_errors = match &found {
+            Some(r) => {
+                Analyzer::new().with_arch(arch.clone()).analyze(&r.managed).count(Severity::Error)
+            }
+            None => 1, // unsearchable: gate failure
+        };
+        total_errors += managed_errors;
+
         println!(
-            "{:<28} {:>6} {:>6} {:>9.1} {:>9.1} {:>7} {:>6} {:>6}",
+            "{:<28} {:>6} {:>6} {:>9.1} {:>9.1} {:>5} {:>7} {:>9} {:>6}",
             b.name,
             b.opt.nodes_before,
             b.opt.nodes_after,
             report.noise.min_margin_wc,
             report.noise.min_margin_est,
-            report.pressure.spills(),
-            errors,
-            warnings
+            found.as_ref().map_or("-".into(), |r| r.l.to_string()),
+            found.as_ref().map_or("-".into(), |r| r.n_secure.to_string()),
+            found.as_ref().map_or("-".into(), |r| format!("{:+.1}", r.stats.min_margin_wc_after)),
+            errors + managed_errors,
         );
 
         out.push_str("    {\n");
@@ -117,6 +143,29 @@ fn main() {
                 .join(", ")
         ));
         out.push_str("      },\n");
+        out.push_str("      \"managed\": ");
+        match &found {
+            Some(r) => {
+                out.push_str("{\n");
+                out.push_str(&format!("        \"policy\": \"{}\",\n", spec.policy.label()));
+                out.push_str(&format!("        \"l\": {},\n", r.l));
+                out.push_str(&format!("        \"n_secure\": {},\n", r.n_secure));
+                out.push_str(&format!("        \"security_bits\": {:.1},\n", r.security_bits));
+                out.push_str(&format!(
+                    "        \"min_margin_wc_bits\": {:.1},\n",
+                    r.stats.min_margin_wc_after
+                ));
+                out.push_str(&format!(
+                    "        \"min_margin_est_bits\": {:.1},\n",
+                    r.stats.min_margin_est_after
+                ));
+                out.push_str(&format!("        \"rescales_inserted\": {},\n", r.stats.inserted));
+                out.push_str(&format!("        \"hand_switches_dropped\": {},\n", r.stats.dropped));
+                out.push_str(&format!("        \"errors\": {managed_errors}\n"));
+                out.push_str("      },\n");
+            }
+            None => out.push_str("null,\n"),
+        }
         out.push_str("      \"pressure\": {\n");
         out.push_str(&format!(
             "        \"peak_live_bytes\": {},\n",
@@ -184,5 +233,5 @@ fn main() {
         println!("FAILED: {total_errors} Error-severity diagnostic(s) across the suite");
         std::process::exit(1);
     }
-    println!("no Error-severity diagnostics across the suite");
+    println!("no Error-severity diagnostics across the suite (managed gate included)");
 }

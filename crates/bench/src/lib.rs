@@ -25,8 +25,13 @@ pub fn bench_scale() -> usize {
 
 /// Reads `F1_SCALE` with an explicit default — figures whose paper shape
 /// only emerges at full size (e.g. Fig 10) default to 1 instead of 8.
+///
+/// # Panics
+///
+/// Panics on a malformed or zero `F1_SCALE` (e.g. `F1_SCALE=ful`): a
+/// typo must not silently run the reduced suite claiming full size.
 pub fn bench_scale_or(default: usize) -> usize {
-    std::env::var("F1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    f1_poly::env::parse_env_nonzero_or("F1_SCALE", default)
 }
 
 /// Compiles and simulates one benchmark on a configuration.

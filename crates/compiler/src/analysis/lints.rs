@@ -8,9 +8,10 @@
 //! |------|---------|---------|
 //! | `typing::*` | Error | structural/typing invariant broken (see [`super::typing`]) |
 //! | `scale::exceeds-level` | Warning | CKKS scale exceeds remaining levels: cannot rescale back to Δ |
-//! | `scale::saturated` | Warning | CKKS rescale at scale 1 hit the saturation floor |
-//! | `noise::budget-exhausted` | Error (BGV) / Warning | even the tracked estimate overruns `log2(Q_l/2)` |
+//! | `scale::saturated-rescale` | Warning | CKKS rescale at scale 1 hit the saturation floor |
+//! | `noise::budget-exhausted` | Error (BGV) / Warning | estimate AND worst-case bound both overrun `log2(Q_l/2)` |
 //! | `noise::unproven` | Warning | worst-case bound overruns the budget (correctness not statically proven) |
+//! | `noise::pessimistic-estimate` | Info | estimate overruns but the sound bound fits (heuristic drift, not a failure) |
 //! | `noise::low-margin` | Info | worst-case margin below 10 bits |
 //! | `pressure::scratchpad-spill` | Warning | peak live bytes + one hint exceed the scratchpad |
 //! | `redundancy::dead-node` | Warning | nodes that cannot reach an output (run `optimize`) |
@@ -98,11 +99,12 @@ impl Lint for ScaleLint {
         }
         if saturated > 0 {
             out.push(Diagnostic::warning(
-                "scale::saturated",
+                "scale::saturated-rescale",
                 first_saturated,
                 format!(
                     "{saturated} rescale(s) of a scale-1 value saturate at the Δ floor \
-                     (first: %{}): precision is lost",
+                     (first: %{}): a level is burned for no scale reduction \
+                     (with_strict_scale programs reject this at build time)",
                     first_saturated.expect("saturated > 0").0
                 ),
             ));
@@ -139,8 +141,10 @@ impl Lint for NoiseLint {
         // Only the BGV model is executor-validated; other schemes never
         // exceed Warning.
         let ceiling = if p.scheme() == Scheme::Bgv { Severity::Error } else { Severity::Warning };
-        if r.min_margin_est < 0.0 {
-            // Anchor at the node with the worst *estimate* margin.
+        if r.min_margin_wc < 0.0 && r.min_margin_est < 0.0 {
+            // Both quantities overrun: the program is exhausted by any
+            // reading. Anchor at the node with the worst *estimate*
+            // margin (the runtime's view of where it dies first).
             let worst_est = (0..p.nodes().len())
                 .map(|i| IrId(i as u32))
                 .filter(|&id| !p.node(id).ty.plain)
@@ -166,6 +170,23 @@ impl Lint for NoiseLint {
                     "worst-case noise bound overruns the budget by {:.1} bits \
                      (estimate still fits by {:.1}): correctness is not statically proven",
                     -r.min_margin_wc, r.min_margin_est
+                ),
+            ));
+        } else if r.min_margin_est < 0.0 {
+            // The sound worst-case bound fits, so correctness IS
+            // statically proven; the heuristic estimate overrunning is
+            // accumulated per-op pessimism (e.g. BGV `add_est = max+1`
+            // adds a full bit where the exact sum adds almost nothing,
+            // so deep addition trees drift tens of bits above the true
+            // noise). Informational only — the bound is the authority.
+            out.push(Diagnostic::info(
+                "noise::pessimistic-estimate",
+                Some(critical),
+                format!(
+                    "tracked estimate overruns by {:.1} bits but the worst-case bound \
+                     fits with {:.1} bits to spare: the estimate recurrence is \
+                     pessimistic on this shape, not the program",
+                    -r.min_margin_est, r.min_margin_wc
                 ),
             ));
         } else if r.min_margin_wc < 10.0 {
@@ -442,12 +463,12 @@ mod tests {
     }
 
     #[test]
-    fn triggers_scale_saturated() {
+    fn triggers_scale_saturated_rescale() {
         let mut p = FheProgram::new(64, Scheme::Ckks);
         let x = p.input(3); // scale 1
         let r = p.rescale(x); // saturates at 1
         p.output(r);
-        assert!(has(&diags(&p), "scale::saturated"));
+        assert!(has(&diags(&p), "scale::saturated-rescale"));
     }
 
     #[test]
@@ -465,6 +486,26 @@ mod tests {
             d.iter().any(|x| x.rule == "noise::budget-exhausted" && x.severity == Severity::Error),
             "BGV exhaustion must be an Error"
         );
+    }
+
+    #[test]
+    fn proven_bound_downgrades_estimate_overrun_to_info() {
+        // A long addition chain: the estimate pays a full bit per add
+        // (`add_est = max + 1`) while the exact worst-case sum grows
+        // logarithmically, so after ~200 adds the estimate overruns a
+        // budget the sound bound fits comfortably. Correctness is
+        // proven, so this must NOT be budget-exhausted.
+        let mut p = FheProgram::new(1 << 14, Scheme::Bgv);
+        let mut x = p.input(4);
+        let y = p.input(4);
+        for _ in 0..200 {
+            x = p.add(x, y);
+        }
+        p.output(x);
+        let d = diags(&p);
+        assert!(!has(&d, "noise::budget-exhausted"), "{d:?}");
+        assert!(has(&d, "noise::pessimistic-estimate"), "{d:?}");
+        assert!(d.iter().all(|x| x.severity != Severity::Error), "{d:?}");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   machine-readable diagnostics (the `analyze` bin in `f1-bench`
 //!   serializes them into `ANALYSIS.json`; CI fails on any
 //!   [`Severity::Error`]).
+//! * [`param_search`] — the `(N, L)` parameter search: binary-searches
+//!   the smallest modulus chain whose automatically-managed program
+//!   (see [`crate::ir::rescale`]) proves a requested worst-case noise
+//!   margin, then sizes the ring for a security target.
 //!
 //! Entry point: [`Analyzer::analyze`] runs everything and returns an
 //! [`AnalysisReport`].
@@ -31,6 +35,7 @@
 pub mod dataflow;
 pub mod lints;
 pub mod noise;
+pub mod param_search;
 pub mod pressure;
 pub mod typing;
 
@@ -40,6 +45,7 @@ use f1_arch::ArchConfig;
 pub use dataflow::{run_forward, ForwardAnalysis};
 pub use lints::{AnalysisContext, Lint, LintRegistry};
 pub use noise::NoiseReport;
+pub use param_search::{SearchResult, SearchSpec};
 pub use pressure::PressureReport;
 
 /// How bad a diagnostic is. `Error` means the program is wrong (ill-typed

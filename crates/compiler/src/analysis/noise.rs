@@ -26,7 +26,7 @@
 
 use super::dataflow::{run_forward, ForwardAnalysis};
 use crate::ir::{FheOp, FheProgram, IrId, Scheme};
-use f1_fhe::noise::{log2_add, NoiseModel};
+use f1_fhe::noise::NoiseModel;
 
 /// Per-node abstract noise state.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +80,21 @@ impl NoiseAnalysis {
     pub fn new(p: &FheProgram, model: NoiseModel) -> Self {
         Self { model, track_corrections: p.scheme() == Scheme::Bgv }
     }
+
+    /// The model this analysis interprets under.
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+}
+
+/// The scheme's default noise model for a program (what [`analyze`]
+/// interprets under).
+pub fn default_model(p: &FheProgram) -> NoiseModel {
+    match p.scheme() {
+        Scheme::Bgv => NoiseModel::bgv_default(p.n),
+        Scheme::Ckks => NoiseModel::ckks(p.n),
+        Scheme::Gsw => NoiseModel::gsw(p.n),
+    }
 }
 
 impl ForwardAnalysis for NoiseAnalysis {
@@ -120,30 +135,44 @@ impl ForwardAnalysis for NoiseAnalysis {
             FheOp::AddPlain(a_id, _) => {
                 let a = &operands[0];
                 NoiseFact {
-                    est: a.est,
-                    // The scaled plaintext re-centers mod t: + t.
-                    wc: log2_add(a.wc, m.log2_t),
+                    est: m.est_add_plain(a.est),
+                    // BGV: the scaled plaintext re-centers mod t (+ t);
+                    // CKKS: only the encoding-rounding error is added.
+                    wc: m.wc_add_plain(a.wc),
                     correction: a.correction.clone(),
                     worst_operand: Some(*a_id),
                 }
             }
             FheOp::Mul(a_id, b_id) => {
                 let (a, b) = (&operands[0], &operands[1]);
+                let (est, wc) = if p.scheme() == Scheme::Ckks {
+                    // The CKKS bound needs the operand scales: the message
+                    // magnitude (Δ^scale) multiplies the other operand's
+                    // noise in the cross terms.
+                    let (sa, sb) = (p.node(*a_id).ty.scale, p.node(*b_id).ty.scale);
+                    (
+                        m.est_mul_ckks(a.est, sa, b.est, sb, level),
+                        m.wc_mul_ckks(a.wc, sa, b.wc, sb, level),
+                    )
+                } else {
+                    (m.est_mul(a.est, b.est, level), m.wc_mul(a.wc, b.wc, level))
+                };
                 NoiseFact {
-                    est: m.est_mul(a.est, b.est, level),
-                    wc: m.wc_mul(a.wc, b.wc, level),
+                    est,
+                    wc,
                     correction: merge_corrections(&a.correction, &b.correction),
                     worst_operand: Some(if a.wc >= b.wc { *a_id } else { *b_id }),
                 }
             }
-            FheOp::MulPlain(a_id, _) => {
+            FheOp::MulPlain(a_id, b_id) => {
                 let a = &operands[0];
-                NoiseFact {
-                    est: m.est_mul_plain(a.est),
-                    wc: m.wc_mul_plain(a.wc),
-                    correction: a.correction.clone(),
-                    worst_operand: Some(*a_id),
-                }
+                let (est, wc) = if p.scheme() == Scheme::Ckks {
+                    let (sa, sp) = (p.node(*a_id).ty.scale, p.node(*b_id).ty.scale);
+                    (m.est_mul_plain_ckks(a.est, sa, sp), m.wc_mul_plain_ckks(a.wc, sa, sp))
+                } else {
+                    (m.est_mul_plain(a.est), m.wc_mul_plain(a.wc))
+                };
+                NoiseFact { est, wc, correction: a.correction.clone(), worst_operand: Some(*a_id) }
             }
             FheOp::Aut { a: a_id, .. } => {
                 let a = &operands[0];
@@ -223,12 +252,7 @@ impl NoiseReport {
 
 /// Runs the noise analysis with the scheme's default model.
 pub fn analyze(p: &FheProgram) -> NoiseReport {
-    let model = match p.scheme() {
-        Scheme::Bgv => NoiseModel::bgv_default(p.n),
-        Scheme::Ckks => NoiseModel::ckks(p.n),
-        Scheme::Gsw => NoiseModel::gsw(p.n),
-    };
-    analyze_with(p, model)
+    analyze_with(p, default_model(p))
 }
 
 /// Runs the noise analysis under an explicit model (e.g. a non-default

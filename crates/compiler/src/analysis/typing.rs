@@ -131,10 +131,19 @@ impl ForwardAnalysis for Retype {
                         "add_plain/mul_plain need (ciphertext, plaintext) operands".into(),
                     );
                 }
-                let level = match join(a, pt) {
-                    Ok(l) => l,
-                    Err(e) => return e,
-                };
+                // Plaintexts need only *cover* the ciphertext level (their
+                // excess RNS limbs are ignored); the result takes the
+                // ciphertext's level. Mirrors the builder's rule.
+                if pt.level < a.level {
+                    return ill(
+                        "typing::level-mismatch",
+                        format!(
+                            "plaintext level {} does not cover ciphertext level {}",
+                            pt.level, a.level
+                        ),
+                    );
+                }
+                let level = a.level;
                 if matches!(p.node(id).op, FheOp::MulPlain(..)) {
                     TypeFact::Ok(ValType {
                         plain: false,

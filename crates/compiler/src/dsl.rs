@@ -117,9 +117,11 @@ impl Program {
         self.push(HomOp::Add { a, b }, l, false)
     }
 
-    /// Adds an unencrypted operand to a ciphertext.
+    /// Adds an unencrypted operand to a ciphertext. The plaintext may sit
+    /// at a higher level (its excess RNS limbs are ignored); the result
+    /// takes the ciphertext's level.
     pub fn add_plain(&mut self, a: CtId, p: CtId) -> CtId {
-        let l = self.join_levels(a, p);
+        let l = self.join_plain_level(a, p);
         assert!(self.plain[p.0 as usize], "second operand must be plain");
         self.push(HomOp::AddPlain { a, p }, l, false)
     }
@@ -131,9 +133,11 @@ impl Program {
         self.push(HomOp::Mul { a, b }, l, false)
     }
 
-    /// Multiplication by an unencrypted operand.
+    /// Multiplication by an unencrypted operand. As with
+    /// [`Self::add_plain`], the plaintext's level only needs to cover the
+    /// ciphertext's.
     pub fn mul_plain(&mut self, a: CtId, p: CtId) -> CtId {
-        let l = self.join_levels(a, p);
+        let l = self.join_plain_level(a, p);
         assert!(self.plain[p.0 as usize], "second operand must be plain");
         self.push(HomOp::MulPlain { a, p }, l, false)
     }
@@ -183,6 +187,12 @@ impl Program {
     fn join_levels(&self, a: CtId, b: CtId) -> usize {
         let (la, lb) = (self.levels[a.0 as usize], self.levels[b.0 as usize]);
         assert_eq!(la, lb, "operand levels differ ({la} vs {lb}); insert mod_switch");
+        la
+    }
+
+    fn join_plain_level(&self, a: CtId, p: CtId) -> usize {
+        let (la, lp) = (self.levels[a.0 as usize], self.levels[p.0 as usize]);
+        assert!(lp >= la, "plaintext level {lp} does not cover ciphertext level {la}");
         la
     }
 

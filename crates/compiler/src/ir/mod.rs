@@ -28,11 +28,13 @@
 
 pub mod lower;
 pub mod passes;
+pub mod rescale;
 
 use serde::{Deserialize, Serialize};
 
 pub use lower::Lowered;
 pub use passes::OptStats;
+pub use rescale::{NoisePolicy, RescaleStats};
 
 /// Identifies one value (node) in an [`FheProgram`].
 ///
@@ -208,6 +210,11 @@ impl FheProgram {
         self.scheme
     }
 
+    /// Whether strict CKKS scale checking is enabled.
+    pub fn strict_scale(&self) -> bool {
+        self.strict_scale
+    }
+
     fn push(&mut self, op: FheOp, ty: ValType) -> IrId {
         let id = IrId(self.nodes.len() as u32);
         debug_assert!(op.operands().iter().all(|o| (o.0 as usize) < self.nodes.len()));
@@ -303,12 +310,29 @@ impl FheProgram {
         self.push(FheOp::Add(a, b), ty)
     }
 
+    /// Checks a ciphertext/plaintext level pair. Plaintexts only need to
+    /// *cover* the ciphertext level: an RNS plaintext encoded at level
+    /// `l >= level` contains every residue of the ciphertext's chain
+    /// prefix, so the backend simply ignores its top limbs. (Requiring
+    /// equality would force duplicating `PtInput` ordinals whenever a
+    /// rescale pass moves the consuming ciphertext down a level.)
+    fn join_plain_level(&self, ct: ValType, pt: ValType) -> usize {
+        assert!(
+            pt.level >= ct.level,
+            "plaintext level {} does not cover ciphertext level {}",
+            pt.level,
+            ct.level
+        );
+        ct.level
+    }
+
     /// Adds a plaintext operand (runtime input or constant) to a
-    /// ciphertext.
+    /// ciphertext. The plaintext may sit at a *higher* level — its excess
+    /// limbs are ignored; the result takes the ciphertext's level.
     pub fn add_plain(&mut self, a: IrId, p: IrId) -> IrId {
         let ta = self.ct(a, "add_plain");
         let tp = self.pt(p, "add_plain");
-        let level = self.join_levels(ta, tp);
+        let level = self.join_plain_level(ta, tp);
         self.push(FheOp::AddPlain(a, p), ValType { level, ..ta })
     }
 
@@ -334,11 +358,13 @@ impl FheProgram {
         self.mul(a, a)
     }
 
-    /// Multiplication by a plaintext operand (no key-switch).
+    /// Multiplication by a plaintext operand (no key-switch). As with
+    /// [`Self::add_plain`], the plaintext's level only needs to cover the
+    /// ciphertext's; the result takes the ciphertext's level.
     pub fn mul_plain(&mut self, a: IrId, p: IrId) -> IrId {
         let ta = self.ct(a, "mul_plain");
         let tp = self.pt(p, "mul_plain");
-        let level = self.join_levels(ta, tp);
+        let level = self.join_plain_level(ta, tp);
         let ty = ValType { plain: false, level, scale: ta.scale + tp.scale, depth: ta.depth };
         self.push(FheOp::MulPlain(a, p), ty)
     }
@@ -396,10 +422,21 @@ impl FheProgram {
 
     /// Modulus switch (BGV) / rescale (CKKS) one level down. Rejected
     /// for GSW, which has no modulus chain.
+    ///
+    /// A CKKS rescale at scale 1 *saturates*: the scale cannot drop below
+    /// one Δ, so the op burns a level without buying scale headroom.
+    /// Under [`Self::with_strict_scale`] that is rejected outright; in
+    /// lax programs the `scale::saturated-rescale` lint flags it.
     pub fn mod_switch(&mut self, a: IrId) -> IrId {
         assert!(self.scheme != Scheme::Gsw, "GSW has no modulus chain to switch");
         let ta = self.ct(a, "mod_switch");
         assert!(ta.level >= 2, "cannot switch below level 1");
+        if self.strict_scale && self.scheme == Scheme::Ckks {
+            assert!(
+                ta.scale >= 2,
+                "CKKS rescale at scale 1 saturates (burns a level for no scale reduction)"
+            );
+        }
         let scale = if self.scheme == Scheme::Ckks { ta.scale.saturating_sub(1).max(1) } else { 0 };
         self.push(FheOp::ModSwitch(a), ValType { level: ta.level - 1, scale, ..ta })
     }

@@ -1,0 +1,616 @@
+//! Automatic rescale / mod-switch insertion — the noise-management pass.
+//!
+//! F1 leaves noise management to the programmer (§4.1): the DSL encodes
+//! mod-switches by hand and a forgotten one silently erodes the margin
+//! the static analysis reports. This pass closes that gap. Driven by the
+//! [`crate::analysis::noise`] abstract interpretation, [`insert_rescales`]
+//! *reflows* a typed [`FheProgram`]: it walks the node list in id order,
+//! **drops every hand-placed `ModSwitch`**, and re-derives placement
+//! under a requested [`NoisePolicy`] — switching operands down exactly
+//! where the worst-case bound says it pays (or where CKKS scales must
+//! renormalize). Placement decisions consult operand *noise*, never the
+//! chain *budget*, so they are independent of the provisioned `L` and
+//! the resulting margins are monotone in it. BGV correctness is
+//! placement-independent:
+//! the runtime accumulates a correction factor per switch and divides it
+//! out at decryption, so a reflowed program decrypts bit-identically to
+//! its hand-managed original (property-checked against the real software
+//! BGV stack in `tests/ir_differential.rs`).
+//!
+//! [`reflow_at`] additionally re-provisions every input at a caller-chosen
+//! level — the oracle the `(N, L)` parameter search
+//! ([`crate::analysis::param_search`]) binary-searches over.
+//!
+//! After rebuilding, the pass re-runs the between-pass typing validator
+//! ([`crate::analysis::typing::check`]) and the noise analysis, returning
+//! the before/after worst-case margins in [`RescaleStats`]. It does *not*
+//! use the stricter interface check of `optimize`'s verifier: changing
+//! mod-switch placement legitimately changes output levels — that is the
+//! point of the pass.
+
+use super::{FheOp, FheProgram, IrId, Scheme};
+use crate::analysis::noise::{analyze_with, default_model, NoiseAnalysis, NoiseFact};
+use crate::analysis::{dataflow::ForwardAnalysis, typing};
+use f1_fhe::noise::NoiseModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where the pass places rescales / mod-switches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoisePolicy {
+    /// Switch down immediately after every ciphertext multiplication
+    /// (CKKS additionally rescales products back to scale Δ). Simple and
+    /// predictable; burns one level per multiplicative stage.
+    EagerAtMul,
+    /// Noise-driven placement with a profitability slack: before each
+    /// multiplication, switch the operand pair down while the joint
+    /// reduction in effective noise (worst-case bits plus CKKS scale
+    /// headroom) exceeds the one-level budget cost by more than the
+    /// threshold (in bits). The decision consults only operand noise —
+    /// never the chain budget — so placement is independent of `L` and
+    /// managed margins grow affinely in `L` (what the `(N, L)` binary
+    /// search in [`crate::analysis::param_search`] relies on).
+    LazyAtThreshold(f64),
+    /// Paper-faithful discipline: CKKS operands renormalize to scale Δ at
+    /// multiplication boundaries (the benchmarks' hand placement); BGV
+    /// operands take every strictly profitable switch (zero slack — the
+    /// tightest budget-independent placement).
+    MulBoundary,
+}
+
+impl NoisePolicy {
+    /// Display label (used by `ANALYSIS.json` and the search report).
+    pub fn label(&self) -> String {
+        match self {
+            NoisePolicy::EagerAtMul => "eager-at-mul".into(),
+            NoisePolicy::LazyAtThreshold(t) => format!("lazy-at-threshold({t})"),
+            NoisePolicy::MulBoundary => "mul-boundary".into(),
+        }
+    }
+}
+
+/// Statistics from one [`insert_rescales`] run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RescaleStats {
+    /// Mod-switch / rescale nodes the pass inserted.
+    pub inserted: usize,
+    /// Hand-placed mod-switch nodes the pass dropped before re-deriving.
+    pub dropped: usize,
+    /// Minimum worst-case margin of the input program (bits).
+    pub min_margin_wc_before: f64,
+    /// Minimum worst-case margin after insertion (bits).
+    pub min_margin_wc_after: f64,
+    /// Minimum tracked-estimate margin after insertion (bits).
+    ///
+    /// The estimate mirrors the runtime's per-op recurrences, which are
+    /// deliberately cheap and can be *more pessimistic than the sound
+    /// bound* on some shapes (BGV `add_est = max + 1` pays a full bit
+    /// per add where the exact sum grows logarithmically; the CKKS
+    /// exact-add and automorphism recurrences similarly over-shoot). A
+    /// negative value here with a positive [`min_margin_wc_after`]
+    /// means the estimate drifted, not the program — the worst-case
+    /// bound is the correctness authority.
+    ///
+    /// [`min_margin_wc_after`]: RescaleStats::min_margin_wc_after
+    pub min_margin_est_after: f64,
+}
+
+/// Reflows `p` under `policy` with the scheme's default noise model.
+/// See the module docs. GSW programs (no modulus chain) pass through
+/// unchanged.
+pub fn insert_rescales(p: &FheProgram, policy: NoisePolicy) -> (FheProgram, RescaleStats) {
+    insert_rescales_with(p, policy, default_model(p), None)
+}
+
+/// Reflows `p` with every ciphertext and plaintext input re-provisioned
+/// at `input_level` limbs — the parameter-search oracle. Plaintext
+/// operands follow the inputs up (they only need to *cover* their
+/// consumers' levels).
+pub fn reflow_at(
+    p: &FheProgram,
+    input_level: usize,
+    policy: NoisePolicy,
+) -> (FheProgram, RescaleStats) {
+    insert_rescales_with(p, policy, default_model(p), Some(input_level))
+}
+
+/// Full-control variant: explicit model and optional input re-leveling.
+///
+/// # Panics
+///
+/// Panics if the rebuilt program fails the typing validator or changes
+/// the program interface (a pass bug, not an input property).
+pub fn insert_rescales_with(
+    p: &FheProgram,
+    policy: NoisePolicy,
+    model: NoiseModel,
+    input_level: Option<usize>,
+) -> (FheProgram, RescaleStats) {
+    let before = analyze_with(p, model.clone());
+    if p.scheme() == Scheme::Gsw {
+        // No modulus chain: nothing to place. Identity reflow.
+        let stats = RescaleStats {
+            inserted: 0,
+            dropped: 0,
+            min_margin_wc_before: before.min_margin_wc,
+            min_margin_wc_after: before.min_margin_wc,
+            min_margin_est_after: before.min_margin_est,
+        };
+        return (p.clone(), stats);
+    }
+    let mut r = Reflow {
+        new: FheProgram::new(p.n, p.scheme()),
+        analysis: NoiseAnalysis::new(p, model.clone()),
+        facts: Vec::new(),
+        switch_cache: HashMap::new(),
+        policy,
+        inserted: 0,
+        dropped: 0,
+    };
+    // Plaintext operands must *cover* their consumers (level ≥ the
+    // ciphertext's). Dropping hand switches can leave ciphertexts above
+    // the level the original program declared its plaintexts at, so
+    // plain values are re-provisioned at least as high as any ciphertext
+    // can sit — the top ciphertext input level (ct levels only decrease
+    // from there). Plaintexts carry no noise; their level is free.
+    let ct_top = p
+        .nodes()
+        .iter()
+        .filter_map(|n| match n.op {
+            FheOp::CtInput { level, .. } => Some(level),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut map: Vec<IrId> = Vec::with_capacity(p.nodes().len());
+    for node in p.nodes() {
+        let new_id = match &node.op {
+            FheOp::CtInput { level, .. } => {
+                let v = r.new.input(input_level.unwrap_or(*level));
+                r.track(v)
+            }
+            FheOp::PtInput { level, .. } => {
+                let v = r.new.plain_input(input_level.unwrap_or((*level).max(ct_top)));
+                r.track(v)
+            }
+            FheOp::Constant { coeffs, level } => {
+                let v = r.new.constant(coeffs, input_level.unwrap_or((*level).max(ct_top)));
+                r.track(v)
+            }
+            // Hand-placed switches alias through: the policy re-derives
+            // placement from scratch.
+            FheOp::ModSwitch(a) => {
+                r.dropped += 1;
+                map[a.0 as usize]
+            }
+            // Compile-time constant pairs reconstruct verbatim.
+            FheOp::Add(a, b) if node.ty.plain => {
+                let v = r.new.add(map[a.0 as usize], map[b.0 as usize]);
+                r.track(v)
+            }
+            FheOp::Mul(a, b) if node.ty.plain => {
+                let v = r.new.mul(map[a.0 as usize], map[b.0 as usize]);
+                r.track(v)
+            }
+            FheOp::Add(a, b) => r.emit_add(map[a.0 as usize], map[b.0 as usize]),
+            FheOp::AddPlain(a, pt) => r.emit_add_plain(map[a.0 as usize], map[pt.0 as usize]),
+            FheOp::Mul(a, b) => r.emit_mul(map[a.0 as usize], map[b.0 as usize]),
+            FheOp::MulPlain(a, pt) => r.emit_mul_plain(map[a.0 as usize], map[pt.0 as usize]),
+            FheOp::Aut { a, k } => r.emit_aut(map[a.0 as usize], *k),
+        };
+        map.push(new_id);
+    }
+    for &o in p.outputs() {
+        let mapped = map[o.0 as usize];
+        r.new.output(mapped);
+    }
+    let mut out = r.new;
+    // The pass builds lax (its own insertions may transiently misalign
+    // CKKS scales); the caller's strictness travels with the program.
+    out.strict_scale = p.strict_scale;
+
+    // Re-prove the invariants: the typing validator from scratch, plus
+    // the interface properties a reflow must preserve (output count and
+    // input ordinals — output *levels* legitimately change).
+    let diags = typing::check(&out);
+    assert!(diags.is_empty(), "insert_rescales produced ill-typed IR: {diags:?}");
+    assert_eq!(out.outputs().len(), p.outputs().len(), "insert_rescales changed output count");
+    let (before_iface, after_iface) = (typing::interface(p), typing::interface(&out));
+    assert_eq!(
+        before_iface.ct_ordinals, after_iface.ct_ordinals,
+        "insert_rescales changed ciphertext input ordinals"
+    );
+    assert_eq!(
+        before_iface.pt_ordinals, after_iface.pt_ordinals,
+        "insert_rescales changed plaintext input ordinals"
+    );
+
+    let after = analyze_with(&out, model);
+    let stats = RescaleStats {
+        inserted: r.inserted,
+        dropped: r.dropped,
+        min_margin_wc_before: before.min_margin_wc,
+        min_margin_wc_after: after.min_margin_wc,
+        min_margin_est_after: after.min_margin_est,
+    };
+    (out, stats)
+}
+
+/// The rebuild state: the program under construction plus an incremental
+/// noise interpretation of it (one [`NoiseFact`] per new node, computed
+/// with the same transfer function the batch analysis uses).
+struct Reflow {
+    new: FheProgram,
+    analysis: NoiseAnalysis,
+    facts: Vec<NoiseFact>,
+    /// `(value, target_level) -> switched value`: switch chains are
+    /// shared, so two consumers needing the same operand one level down
+    /// reuse a single inserted node.
+    switch_cache: HashMap<(u32, usize), IrId>,
+    policy: NoisePolicy,
+    inserted: usize,
+    dropped: usize,
+}
+
+impl Reflow {
+    /// Records the noise fact of a just-pushed node (incremental
+    /// counterpart of the batch forward analysis).
+    fn track(&mut self, id: IrId) -> IrId {
+        debug_assert_eq!(id.0 as usize, self.facts.len(), "track must follow every push");
+        let operands = self.new.node(id).op.operands();
+        let operand_facts: Vec<NoiseFact> =
+            operands.iter().map(|o| self.facts[o.0 as usize].clone()).collect();
+        let f = self.analysis.transfer(&self.new, id, &operand_facts);
+        self.facts.push(f);
+        id
+    }
+
+    fn level(&self, v: IrId) -> usize {
+        self.new.level_of(v)
+    }
+
+    fn wc(&self, v: IrId) -> f64 {
+        self.facts[v.0 as usize].wc
+    }
+
+    fn ckks(&self) -> bool {
+        self.new.scheme() == Scheme::Ckks
+    }
+
+    /// CKKS scale headroom in bits (0 outside CKKS) — must mirror
+    /// [`crate::analysis::noise::NoiseReport`]'s margin computation.
+    fn headroom(&self, scale: u32) -> f64 {
+        if self.ckks() {
+            f64::from(scale) * f64::from(self.analysis.model().limb_bits)
+        } else {
+            0.0
+        }
+    }
+
+    /// Inserts cached mod-switch chains until `v` sits at `target`.
+    fn switch_to(&mut self, mut v: IrId, target: usize) -> IrId {
+        while self.level(v) > target {
+            let key = (v.0, self.level(v) - 1);
+            v = match self.switch_cache.get(&key) {
+                Some(&w) => w,
+                None => {
+                    let w = self.new.mod_switch(v);
+                    self.track(w);
+                    self.inserted += 1;
+                    self.switch_cache.insert(key, w);
+                    w
+                }
+            };
+        }
+        v
+    }
+
+    /// CKKS: rescales `v` until its scale is back at Δ (or the chain runs
+    /// out one level above the floor).
+    fn rescale_to_unit(&mut self, mut v: IrId) -> IrId {
+        while self.ckks() && self.new.scale_of(v) > 1 && self.level(v) >= 2 {
+            v = self.switch_to(v, self.level(v) - 1);
+        }
+        v
+    }
+
+    fn emit_add(&mut self, a: IrId, b: IrId) -> IrId {
+        let t = self.level(a).min(self.level(b));
+        let (a, b) = (self.switch_to(a, t), self.switch_to(b, t));
+        let v = self.new.add(a, b);
+        self.track(v)
+    }
+
+    fn emit_add_plain(&mut self, a: IrId, p: IrId) -> IrId {
+        // The plaintext covers any level at or below its own; never
+        // switch it (plaintexts carry no noise to manage).
+        let v = self.new.add_plain(a, p);
+        self.track(v)
+    }
+
+    fn emit_aut(&mut self, a: IrId, k: usize) -> IrId {
+        let v = self.new.aut(a, k);
+        self.track(v)
+    }
+
+    fn emit_mul(&mut self, a: IrId, b: IrId) -> IrId {
+        let (mut a, mut b) = (a, b);
+        // CKKS scale discipline is mandatory, not a profitability call:
+        // a skipped rescale doubles the scale at every downstream square,
+        // so its true cost compounds multiplicatively — operands
+        // renormalize to Δ at every mul boundary (the standard CKKS
+        // practice and the paper's hand placement).
+        if self.ckks() && !matches!(self.policy, NoisePolicy::EagerAtMul) {
+            a = self.rescale_to_unit(a);
+            b = self.rescale_to_unit(b);
+        }
+        let t = self.level(a).min(self.level(b));
+        a = self.switch_to(a, t);
+        b = self.switch_to(b, t);
+        // BGV noise-profitability planning (budget-independent).
+        let slack = match self.policy {
+            _ if self.ckks() => None,
+            NoisePolicy::LazyAtThreshold(t) => Some(t),
+            NoisePolicy::MulBoundary => Some(0.0),
+            NoisePolicy::EagerAtMul => None,
+        };
+        if let Some(slack) = slack {
+            let target = self.renorm_level_for_mul(a, b, slack);
+            a = self.switch_to(a, target);
+            b = self.switch_to(b, target);
+        }
+        let v = self.new.mul(a, b);
+        let v = self.track(v);
+        match self.policy {
+            NoisePolicy::EagerAtMul => {
+                if self.ckks() {
+                    self.rescale_to_unit(v)
+                } else if self.level(v) >= 2 {
+                    self.switch_to(v, self.level(v) - 1)
+                } else {
+                    v
+                }
+            }
+            _ => v,
+        }
+    }
+
+    fn emit_mul_plain(&mut self, a: IrId, p: IrId) -> IrId {
+        let mut a = a;
+        if self.ckks() && !matches!(self.policy, NoisePolicy::EagerAtMul) {
+            a = self.rescale_to_unit(a);
+        }
+        let slack = match self.policy {
+            _ if self.ckks() => None,
+            NoisePolicy::LazyAtThreshold(t) => Some(t),
+            NoisePolicy::MulBoundary => Some(0.0),
+            NoisePolicy::EagerAtMul => None,
+        };
+        if let Some(slack) = slack {
+            let target = self.renorm_level_for_mul_plain(a, slack);
+            a = self.switch_to(a, target);
+        }
+        let v = self.new.mul_plain(a, p);
+        let v = self.track(v);
+        if matches!(self.policy, NoisePolicy::EagerAtMul) && self.ckks() {
+            return self.rescale_to_unit(v);
+        }
+        v
+    }
+
+    /// Pre-multiplication renormalization planning for a (BGV)
+    /// ciphertext product: starting from the aligned level of `a`/`b`,
+    /// simulate switching *both* operands one level down while the joint
+    /// reduction in effective noise (worst-case bits + scale headroom)
+    /// exceeds the one-level budget cost (`limb_bits - 1`) by more than
+    /// `slack`. Returns the chosen operand level. (CKKS muls take the
+    /// mandatory mul-boundary rescale instead — greedy one-step gains
+    /// cannot see the multiplicative downstream cost of a carried scale.)
+    ///
+    /// The decision never consults the budget at the current level, so
+    /// placement is identical at every provisioned `L` — the property the
+    /// parameter search's binary search requires (margins affine in `L`).
+    fn renorm_level_for_mul(&self, a: IrId, b: IrId, slack: f64) -> usize {
+        let m = self.analysis.model().clone();
+        let mut level = self.level(a);
+        debug_assert_eq!(level, self.level(b));
+        let square = a == b;
+        let (mut awc, mut bwc) = (self.wc(a), self.wc(b));
+        let (mut sa, mut sb) = (self.new.scale_of(a), self.new.scale_of(b));
+        let cost = f64::from(m.limb_bits - 1);
+        while level >= 2 {
+            // CKKS: a scale-1 rescale divides the message itself — never
+            // insert one for noise management (the saturated-rescale bug).
+            if self.ckks() && (sa < 2 || (!square && sb < 2)) {
+                break;
+            }
+            let awc2 = m.wc_mod_switch(awc, level);
+            let bwc2 = if square { awc2 } else { m.wc_mod_switch(bwc, level) };
+            let sa2 = sa.saturating_sub(1).max(1);
+            let sb2 = if square { sa2 } else { sb.saturating_sub(1).max(1) };
+            let gain_a = (awc - awc2) + self.headroom(sa) - self.headroom(sa2);
+            let gain_b =
+                if square { gain_a } else { (bwc - bwc2) + self.headroom(sb) - self.headroom(sb2) };
+            if gain_a + gain_b <= cost + slack {
+                break;
+            }
+            level -= 1;
+            (awc, bwc, sa, sb) = (awc2, bwc2, sa2, sb2);
+        }
+        level
+    }
+
+    /// Single-operand counterpart for plaintext products. A BGV switch
+    /// reduces noise by at most `limb_bits - 1` — never strictly more
+    /// than its cost — so this only fires in CKKS, where scale headroom
+    /// makes the switch profitable.
+    fn renorm_level_for_mul_plain(&self, a: IrId, slack: f64) -> usize {
+        let m = self.analysis.model().clone();
+        let mut level = self.level(a);
+        let mut awc = self.wc(a);
+        let mut sa = self.new.scale_of(a);
+        let cost = f64::from(m.limb_bits - 1);
+        while level >= 2 {
+            if self.ckks() && sa < 2 {
+                break;
+            }
+            let awc2 = m.wc_mod_switch(awc, level);
+            let sa2 = sa.saturating_sub(1).max(1);
+            let gain = (awc - awc2) + self.headroom(sa) - self.headroom(sa2);
+            if gain <= cost + slack {
+                break;
+            }
+            level -= 1;
+            (awc, sa) = (awc2, sa2);
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::noise;
+
+    /// An under-provisioned BGV squaring chain with no hand-placed
+    /// switches: depth 3 at a level that can absorb it only if managed.
+    fn unmanaged_bgv(level: usize, depth: usize) -> FheProgram {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let mut x = p.input(level);
+        for _ in 0..depth {
+            x = p.square(x);
+        }
+        p.output(x);
+        p
+    }
+
+    #[test]
+    fn lazy_improves_margin_on_unmanaged_chain() {
+        let p = unmanaged_bgv(8, 5);
+        assert!(noise::analyze(&p).min_margin_wc < 8.0, "premise: chain needs management");
+        let (q, stats) = insert_rescales(&p, NoisePolicy::LazyAtThreshold(8.0));
+        assert!(stats.inserted > 0, "{stats:?}");
+        assert!(
+            stats.min_margin_wc_after > stats.min_margin_wc_before,
+            "managed margin must improve: {stats:?}"
+        );
+        assert!(crate::analysis::typing::check(&q).is_empty());
+    }
+
+    #[test]
+    fn eager_switches_after_every_mul() {
+        let p = unmanaged_bgv(12, 3);
+        let (q, _) = insert_rescales(&p, NoisePolicy::EagerAtMul);
+        let switches = q.nodes().iter().filter(|n| matches!(n.op, FheOp::ModSwitch(_))).count();
+        assert_eq!(switches, 3, "one switch per square");
+        // Output sits 3 levels below the input.
+        assert_eq!(q.level_of(*q.outputs().last().unwrap()), 9);
+    }
+
+    #[test]
+    fn hand_placed_switches_are_dropped_and_rederived() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(12);
+        let m = p.square(x);
+        let d = p.mod_switch(m);
+        let d = p.mod_switch(d); // gratuitous second switch
+        let m2 = p.square(d);
+        p.output(m2);
+        let (q, stats) = insert_rescales(&p, NoisePolicy::EagerAtMul);
+        assert_eq!(stats.dropped, 2);
+        let switches = q.nodes().iter().filter(|n| matches!(n.op, FheOp::ModSwitch(_))).count();
+        assert_eq!(switches, 2, "eager re-derives one per mul");
+        assert!(stats.min_margin_wc_after >= stats.min_margin_wc_before - 1e-9, "{stats:?}");
+    }
+
+    #[test]
+    fn mul_boundary_renormalizes_ckks_scales() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Ckks);
+        let x = p.input(8);
+        let m = p.square(x); // scale 2
+        let m2 = p.square(m); // scale 4 unmanaged
+        p.output(m2);
+        let (q, _) = insert_rescales(&p, NoisePolicy::MulBoundary);
+        // Every mul's operands are at scale 1 when it fires.
+        for node in q.nodes() {
+            if let FheOp::Mul(a, b) = node.op {
+                assert_eq!(q.scale_of(a), 1, "mul-boundary operand scale");
+                assert_eq!(q.scale_of(b), 1);
+            }
+        }
+        assert!(crate::analysis::typing::check(&q).is_empty());
+    }
+
+    #[test]
+    fn gsw_passes_through_unchanged() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Gsw);
+        let x = p.input(2);
+        let y = p.input(2);
+        let m = p.mul(x, y);
+        p.output(m);
+        let (q, stats) = insert_rescales(&p, NoisePolicy::EagerAtMul);
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(q.nodes().len(), p.nodes().len());
+    }
+
+    #[test]
+    fn reflow_at_reprovisions_inputs_and_goes_positive() {
+        // Depth-4 chain, hopeless at level 2 — reflow at a generous level
+        // must turn the worst-case margin positive.
+        let p = unmanaged_bgv(2, 4);
+        let before = noise::analyze(&p);
+        assert!(before.min_margin_wc < 0.0, "premise: unmanaged is broken");
+        let (q, stats) = reflow_at(&p, 12, NoisePolicy::LazyAtThreshold(8.0));
+        assert!(stats.min_margin_wc_after > 0.0, "{stats:?}");
+        for node in q.nodes() {
+            if let FheOp::CtInput { level, .. } = node.op {
+                assert_eq!(level, 12);
+            }
+        }
+    }
+
+    #[test]
+    fn reflow_is_deterministic() {
+        let p = unmanaged_bgv(12, 3);
+        let (a, _) = insert_rescales(&p, NoisePolicy::LazyAtThreshold(8.0));
+        let (b, _) = insert_rescales(&p, NoisePolicy::LazyAtThreshold(8.0));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn shared_operands_reuse_switch_chains() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(12);
+        let a = p.square(x);
+        let b = p.square(x); // same operand squared twice (CSE'd later)
+        let s = p.add(a, b);
+        p.output(s);
+        let (q, _) = insert_rescales(&p, NoisePolicy::EagerAtMul);
+        // The two squares share x at one level: no duplicate switch chain.
+        let switches = q.nodes().iter().filter(|n| matches!(n.op, FheOp::ModSwitch(_))).count();
+        assert_eq!(switches, 2, "one per mul result, none duplicated on x");
+    }
+
+    #[test]
+    fn plaintext_operands_follow_without_switching() {
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let x = p.input(12);
+        let c = p.scalar(3, 12);
+        let m = p.square(x);
+        let m = p.mul_plain(m, c); // after eager's switch, ct sits below c
+        p.output(m);
+        let (q, _) = insert_rescales(&p, NoisePolicy::EagerAtMul);
+        assert!(crate::analysis::typing::check(&q).is_empty());
+        // The constant stays at its declared level; the covering rule
+        // admits the lower-level ciphertext.
+        let c_level = q
+            .nodes()
+            .iter()
+            .find_map(|n| match n.op {
+                FheOp::Constant { level, .. } => Some(level),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(c_level, 12);
+    }
+}

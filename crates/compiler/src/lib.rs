@@ -52,7 +52,7 @@ pub use analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use cycle::CycleSchedule;
 pub use dsl::{CtId, HomOp, Program};
 pub use expand::{ExpandOptions, Expanded, KeySwitchChoice};
-pub use ir::{FheProgram, IrId, Lowered, OptStats, Scheme};
+pub use ir::{FheProgram, IrId, Lowered, NoisePolicy, OptStats, RescaleStats, Scheme};
 pub use movement::MovePlan;
 
 /// Compiles a DSL program end-to-end with default options, returning the
@@ -93,6 +93,27 @@ pub fn compile_fhe(
     program: &FheProgram,
     arch: &f1_arch::ArchConfig,
 ) -> (Lowered, OptStats, Expanded, MovePlan, CycleSchedule) {
+    compile_fhe_with(program, arch, None)
+}
+
+/// [`compile_fhe`] with opt-in automatic noise management: when `policy`
+/// is set, [`ir::rescale::insert_rescales`] reflows the program (drops
+/// hand-placed mod-switches, re-derives placement under the policy, and
+/// re-proves typing + noise margins) before the optimizer runs.
+pub fn compile_fhe_with(
+    program: &FheProgram,
+    arch: &f1_arch::ArchConfig,
+    policy: Option<NoisePolicy>,
+) -> (Lowered, OptStats, Expanded, MovePlan, CycleSchedule) {
+    let managed;
+    let program = match policy {
+        Some(policy) => {
+            let (m, _stats) = ir::rescale::insert_rescales(program, policy);
+            managed = m;
+            &managed
+        }
+        None => program,
+    };
     let (optimized, stats) = program.optimize();
     let lowered = optimized.lower();
     let (expanded, plan, cycles) = compile(&lowered.program, arch);

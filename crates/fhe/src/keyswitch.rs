@@ -402,6 +402,9 @@ impl GhsHint {
                 for i in 0..l {
                     acc += yhat[i][c] as u64 * w_ij[i] as u64 % mj.value() as u64;
                 }
+                // acc sums l reduced terms (< q_j < 2^31 each) and alpha
+                // counts at most l overflow units, so both operands stay
+                // < l * 2^31 << 2^63 — reduce_u64's Barrett fast path.
                 let pos = mj.reduce_u64(acc);
                 let corr = mj.reduce_u64(alpha[c] * q_mod_j as u64);
                 limb[c] = mj.sub(pos, corr);

@@ -149,6 +149,19 @@ impl NoiseModel {
         (self.n as f64).log2()
     }
 
+    /// Worst-case ring-convolution expansion in the canonical embedding:
+    /// `√N` with a small constant for the sub-Gaussian tail (the
+    /// high-probability bound CKKS analyses use; coefficient-domain `N`
+    /// would re-count the embedding the scale headroom already pays for).
+    fn log2_conv_wc(&self) -> f64 {
+        0.5 * self.log2_n() + 3.0
+    }
+
+    /// Average-case convolution expansion (`√N`, no tail constant).
+    fn log2_conv_est(&self) -> f64 {
+        0.5 * self.log2_n()
+    }
+
     /// Guaranteed (lower-bound) `log2 Q_l` at `level` limbs.
     pub fn log2_q(&self, level: usize) -> f64 {
         level as f64 * f64::from(self.limb_bits - 1)
@@ -181,7 +194,8 @@ impl NoiseModel {
     /// Estimate for ciphertext multiplication at `level` limbs.
     pub fn est_mul(&self, a: f64, b: f64, level: usize) -> f64 {
         match self.scheme {
-            NoiseScheme::Bgv | NoiseScheme::Ckks => mul_est(a, b, self.n),
+            NoiseScheme::Bgv => mul_est(a, b, self.n),
+            NoiseScheme::Ckks => self.est_mul_ckks(a, 1, b, 1, level),
             // GSW external product: additive growth by N·l·2^limb.
             NoiseScheme::Gsw => {
                 log2_add(a, b)
@@ -194,7 +208,10 @@ impl NoiseModel {
 
     /// Estimate for plaintext multiplication.
     pub fn est_mul_plain(&self, a: f64) -> f64 {
-        a + self.log2_t + self.log2_n() / 2.0
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => a + self.log2_t + self.log2_n() / 2.0,
+            NoiseScheme::Ckks => self.est_mul_plain_ckks(a, 1, 1),
+        }
     }
 
     /// Estimate for an automorphism.
@@ -221,29 +238,63 @@ impl NoiseModel {
 
     // ---- worst-case bounds (sound for BGV) ----
 
-    /// Bound on fresh-encryption noise: `|t·e| ≤ t·η`.
+    /// Bound on fresh-encryption noise: `|t·e| ≤ t·η` (BGV); for CKKS the
+    /// raw error plus the `√N`-grade encoding-rounding term.
     pub fn wc_fresh(&self) -> f64 {
         match self.scheme {
             NoiseScheme::Bgv => self.log2_t + self.log2_eta,
-            NoiseScheme::Ckks | NoiseScheme::Gsw => self.log2_eta + 1.0,
+            NoiseScheme::Ckks => log2_add(self.log2_eta + 1.0, self.log2_conv_wc()),
+            NoiseScheme::Gsw => self.log2_eta + 1.0,
         }
     }
 
-    /// Bound on key-switch additive noise at `level` limbs:
-    /// `l · N · 2^limb_bits · t · η` (limb decomposition, one row per
-    /// limb, each row's error `t·e` convolved with a limb-sized digit).
+    /// Bound on key-switch additive noise at `level` limbs.
+    ///
+    /// BGV/GSW use the limb-decomposition variant: `l · N · 2^limb_bits ·
+    /// t · η` (one hint row per limb, each row's error `t·e` convolved
+    /// with a limb-sized digit). CKKS parameter sets provision GHS-grade
+    /// special primes (`P ≥ Q`, [`crate::params::CkksParams::test_small`]),
+    /// so the hint product's noise is divided back down by `P` and only
+    /// `≈ √N·η` survives the rounded division — no digit-width or `t`
+    /// term.
     pub fn wc_keyswitch(&self, level: usize) -> f64 {
-        (level.max(1) as f64).log2()
-            + self.log2_n()
-            + f64::from(self.limb_bits)
-            + self.log2_t
-            + self.log2_eta
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => {
+                (level.max(1) as f64).log2()
+                    + self.log2_n()
+                    + f64::from(self.limb_bits)
+                    + self.log2_t
+                    + self.log2_eta
+            }
+            NoiseScheme::Ckks => self.log2_n() + self.log2_eta + 1.0,
+        }
     }
 
     /// Bound on addition of aligned operands: `n_a + n_b + 2t` (the sum
     /// of plaintexts re-centers mod t, absorbing ≤ 2·(t/2) into noise).
+    /// CKKS addition is exact on the encoded reals: noises just add.
     pub fn wc_add(&self, a: f64, b: f64) -> f64 {
-        log2_add(log2_add(a, b), self.log2_t + 1.0)
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => log2_add(log2_add(a, b), self.log2_t + 1.0),
+            NoiseScheme::Ckks => log2_add(a, b),
+        }
+    }
+
+    /// Bound on adding a runtime plaintext: BGV re-centers mod `t`; CKKS
+    /// picks up only the plaintext's encoding-rounding error.
+    pub fn wc_add_plain(&self, a: f64) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => log2_add(a, self.log2_t),
+            NoiseScheme::Ckks => log2_add(a, self.log2_conv_wc()),
+        }
+    }
+
+    /// Tracked estimate for adding a runtime plaintext.
+    pub fn est_add_plain(&self, a: f64) -> f64 {
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => log2_add(a, self.log2_t),
+            NoiseScheme::Ckks => log2_add(a, self.log2_conv_est()),
+        }
     }
 
     /// Bound on correction-factor alignment: scaling by a centered
@@ -258,13 +309,18 @@ impl NoiseModel {
     /// convolves the full phases (noise plus embedded plaintext), then
     /// the embedded product re-centers mod t, then relinearization adds
     /// its key-switch noise.
+    ///
+    /// For CKKS this signature has no operand scales to work with, so it
+    /// assumes scale Δ on both sides; the analyzer calls the scale-aware
+    /// [`NoiseModel::wc_mul_ckks`] directly.
     pub fn wc_mul(&self, a: f64, b: f64, level: usize) -> f64 {
         match self.scheme {
-            NoiseScheme::Bgv | NoiseScheme::Ckks => {
+            NoiseScheme::Bgv => {
                 let half_t = self.log2_t - 1.0;
                 let phases = log2_add(a, half_t) + log2_add(b, half_t);
                 log2_add(log2_add(self.log2_n() + phases, self.log2_t), self.wc_keyswitch(level))
             }
+            NoiseScheme::Ckks => self.wc_mul_ckks(a, 1, b, 1, level),
             NoiseScheme::Gsw => {
                 log2_add(a, b)
                     + self.log2_n()
@@ -274,25 +330,81 @@ impl NoiseModel {
         }
     }
 
+    /// Scale-aware CKKS multiplication bound. Operand scales are in Δ
+    /// units ([`crate::params::CkksParams`] discipline: a value at scale
+    /// `s` embeds its message at magnitude ≈ `Δ^s`). The product noise is
+    /// the cross terms `m_a·e_b + m_b·e_a + e_a·e_b` — the message
+    /// product `m_a·m_b` is *not* noise; the margin computation charges
+    /// it separately as scale headroom — convolved at `√N` grade, plus
+    /// relinearization's key-switch noise.
+    pub fn wc_mul_ckks(&self, a: f64, sa: u32, b: f64, sb: u32, level: usize) -> f64 {
+        let ma = f64::from(sa) * self.log2_t; // log2 |m_a| ≤ sa·log2 Δ
+        let mb = f64::from(sb) * self.log2_t;
+        let cross = log2_add(log2_add(ma + b, mb + a), a + b);
+        log2_add(self.log2_conv_wc() + cross, self.wc_keyswitch(level))
+    }
+
+    /// Tracked-estimate counterpart of [`NoiseModel::wc_mul_ckks`].
+    pub fn est_mul_ckks(&self, a: f64, sa: u32, b: f64, sb: u32, level: usize) -> f64 {
+        let ma = f64::from(sa) * self.log2_t;
+        let mb = f64::from(sb) * self.log2_t;
+        let cross = log2_add(log2_add(ma + b, mb + a), a + b);
+        log2_add(self.log2_conv_est() + cross, self.wc_keyswitch(level) - 1.0)
+    }
+
     /// Bound on plaintext multiplication: `N·(t/2)·(n + t/2) + t`.
+    ///
+    /// CKKS callers with scale information should use
+    /// [`NoiseModel::wc_mul_plain_ckks`]; this signature assumes a Δ-scale
+    /// plaintext operand.
     pub fn wc_mul_plain(&self, a: f64) -> f64 {
-        let half_t = self.log2_t - 1.0;
-        log2_add(self.log2_n() + half_t + log2_add(a, half_t), self.log2_t)
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => {
+                let half_t = self.log2_t - 1.0;
+                log2_add(self.log2_n() + half_t + log2_add(a, half_t), self.log2_t)
+            }
+            NoiseScheme::Ckks => self.wc_mul_plain_ckks(a, 1, 1),
+        }
+    }
+
+    /// Scale-aware CKKS plaintext multiplication bound: the ciphertext's
+    /// noise scaled by the plaintext magnitude (`Δ^sp`), plus the
+    /// ciphertext's message (`Δ^sa`) times the plaintext's sub-unit
+    /// encoding-rounding error, both at `√N` convolution grade.
+    pub fn wc_mul_plain_ckks(&self, a: f64, sa: u32, sp: u32) -> f64 {
+        let mp = f64::from(sp) * self.log2_t;
+        let ma = f64::from(sa) * self.log2_t;
+        self.log2_conv_wc() + log2_add(mp + a, ma - 1.0)
+    }
+
+    /// Tracked-estimate counterpart of [`NoiseModel::wc_mul_plain_ckks`].
+    pub fn est_mul_plain_ckks(&self, a: f64, sa: u32, sp: u32) -> f64 {
+        let mp = f64::from(sp) * self.log2_t;
+        let ma = f64::from(sa) * self.log2_t;
+        self.log2_conv_est() + log2_add(mp + a, ma - 1.0)
     }
 
     /// Bound on an automorphism: the permuted noise plus the key-switch
-    /// of the permuted mask, `n + ks(level) + t`.
+    /// of the permuted mask — `n + ks(level) + t` for BGV (key-switch
+    /// noise is a multiple of `t`), no `t` term for CKKS.
     pub fn wc_aut(&self, a: f64, level: usize) -> f64 {
-        log2_add(log2_add(a, self.wc_keyswitch(level)), self.log2_t)
+        match self.scheme {
+            NoiseScheme::Bgv | NoiseScheme::Gsw => {
+                log2_add(log2_add(a, self.wc_keyswitch(level)), self.log2_t)
+            }
+            NoiseScheme::Ckks => log2_add(a, self.wc_keyswitch(level)),
+        }
     }
 
     /// Bound on modulus switching from `level`: the noise divides by the
     /// dropped prime (credited at its guaranteed width) and gains the
-    /// rounding term `t·(N + 2)` from the δ-correction.
+    /// rounding term from the δ-correction — `t·(N + 2)` for BGV, the
+    /// `√N`-grade canonical rounding for CKKS.
     pub fn wc_mod_switch(&self, a: f64, _level: usize) -> f64 {
         let rounding = match self.scheme {
             NoiseScheme::Bgv => self.log2_t + (self.n as f64 + 2.0).log2(),
-            NoiseScheme::Ckks | NoiseScheme::Gsw => (self.n as f64 + 2.0).log2(),
+            NoiseScheme::Ckks => self.log2_conv_wc() - 1.0,
+            NoiseScheme::Gsw => (self.n as f64 + 2.0).log2(),
         };
         log2_add(a - f64::from(self.limb_bits - 1), rounding)
     }

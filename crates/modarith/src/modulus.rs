@@ -144,20 +144,37 @@ impl Modulus {
         self.reduce_u64(a as u64 * b as u64)
     }
 
-    /// Reduces a 64-bit value modulo `q` using Barrett reduction.
+    /// Reduces a 64-bit value modulo `q`, correct over the full `u64`
+    /// range.
     ///
-    /// Valid for `x < 2^63` (every caller reduces sums of at most a few
-    /// residue products, far below that bound). In that range the quotient
-    /// estimate `t = floor(x * mu / 2^64)` with `mu = floor(2^64/q)` is off
-    /// by at most 1, so a single conditional subtract canonicalizes.
+    /// The fast path is Barrett reduction, valid for `x < 2^63`: there
+    /// the quotient estimate `t = floor(x * mu / 2^64)` with
+    /// `mu = floor(2^64/q)` is off by at most 1, so a single conditional
+    /// subtract canonicalizes. Every hot caller stays far inside that
+    /// bound — residue products are `< q² < 2^62` (`q < 2^31` is enforced
+    /// by [`Modulus::new`]) and the key-switch accumulators are sums of
+    /// `< 2^13` reduced terms, `< 2^44` — so the `x ≥ 2^63` fallback is a
+    /// `#[cold]` plain division rather than a debug-only precondition:
+    /// release builds reduce correctly for any input instead of silently
+    /// returning garbage.
     #[inline(always)]
     pub fn reduce_u64(&self, x: u64) -> u32 {
-        debug_assert!(x < 1 << 63, "reduce_u64 requires x < 2^63, got {x}");
+        if x >= 1 << 63 {
+            return self.reduce_u64_wide(x);
+        }
         let t = ((x as u128 * self.barrett_mu as u128) >> 64) as u64;
         let r = x - t * self.q as u64;
         let q = self.q as u64;
         debug_assert!(r < 2 * q);
         (if r >= q { r - q } else { r }) as u32
+    }
+
+    /// Out-of-line exact reduction for `x ≥ 2^63`, where the Barrett
+    /// quotient estimate can be off by more than 1. No hot path reaches
+    /// this; keeping it `#[cold]` keeps the branch free on the fast path.
+    #[cold]
+    fn reduce_u64_wide(&self, x: u64) -> u32 {
+        (x % self.q as u64) as u32
     }
 
     /// Modular exponentiation by squaring.
@@ -255,6 +272,27 @@ mod tests {
         assert_eq!(Q.wrapping_mul(m.mont_qinv_neg()), u32::MAX); // q * (-q^{-1}) ≡ -1 (mod 2^32)
         assert_eq!(Q.wrapping_mul(m.mont_qinv_neg().wrapping_neg()), 1);
         assert_eq!(m.r_mod_q() as u64, (1u64 << 32) % Q as u64);
+    }
+
+    #[test]
+    fn reduce_u64_is_exact_across_the_barrett_boundary() {
+        // The Barrett fast path covers x < 2^63; beyond it the #[cold]
+        // fallback must keep reduce_u64 exact all the way to u64::MAX.
+        for q in [Q, 999_983, 3, 0x7FFF_FFED] {
+            let m = Modulus::new(q);
+            for x in [
+                0u64,
+                q as u64 - 1,
+                q as u64 * q as u64, // largest residue-product shape
+                (1 << 63) - 1,       // last fast-path value
+                1 << 63,             // first fallback value
+                (1 << 63) + 12345,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(m.reduce_u64(x) as u64, x % q as u64, "q={q} x={x}");
+            }
+        }
     }
 
     #[test]

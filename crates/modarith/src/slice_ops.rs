@@ -48,6 +48,10 @@ pub fn neg_slice(m: &Modulus, dst: &mut [u32]) {
 }
 
 /// `dst[i] = dst[i] * src[i] mod q` (element-wise Barrett multiply).
+///
+/// Operands are canonical residues, so each product is `< q² < 2^62` —
+/// inside `reduce_u64`'s Barrett fast path (likewise in the two variants
+/// below).
 #[inline]
 pub fn mul_slice(m: &Modulus, dst: &mut [u32], src: &[u32]) {
     assert_eq!(dst.len(), src.len());

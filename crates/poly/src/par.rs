@@ -19,10 +19,9 @@ fn limb_threads(limbs: usize, n: usize) -> usize {
     if limbs < 2 || n < MIN_PAR_N {
         return 1;
     }
-    let cap = match std::env::var("F1_PAR_LIMBS") {
-        Ok(v) => v.parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => rayon::current_num_threads(),
-    };
+    // A malformed F1_PAR_LIMBS panics (crate::env policy); 0 and 1 both
+    // mean "serial".
+    let cap = crate::env::parse_env_or("F1_PAR_LIMBS", rayon::current_num_threads()).max(1);
     cap.min(limbs)
 }
 

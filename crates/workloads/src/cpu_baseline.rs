@@ -41,13 +41,11 @@ fn speedup_cache() -> &'static Mutex<HashMap<usize, f64>> {
 /// Sample-count knob for the per-op measurements: `F1_BASELINE_REPS` sets
 /// the repetition count for the heavy ops (`mul`, `aut`); light ops run
 /// `2*reps + 1` times. The default of 2 reproduces the historical sample
-/// counts (2 heavy / 5 light); raise it for tighter estimates.
+/// counts (2 heavy / 5 light); raise it for tighter estimates. Malformed
+/// or zero values panic (`f1_poly::env` policy) instead of silently
+/// measuring at the default.
 fn baseline_reps() -> usize {
-    std::env::var("F1_BASELINE_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&r| r >= 1)
-        .unwrap_or(2)
+    f1_poly::env::parse_env_nonzero_or("F1_BASELINE_REPS", 2)
 }
 
 /// Measured per-operation CPU costs at one `(N, L)` point.

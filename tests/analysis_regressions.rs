@@ -77,19 +77,91 @@ fn every_benchmark_passes_between_pass_verification() {
 
 #[test]
 fn analyzer_reports_no_errors_on_the_benchmark_suite() {
+    // The hand-managed programs run at the paper's (N, L), which
+    // under-provisions the deep benchmarks by design; their margins are
+    // informational, so `noise::budget-exhausted` is demoted to Info
+    // (exactly what the `analyze` bin records as a waiver). The Error
+    // gate lives on the managed programs — see the test below.
     for b in f1::workloads::all_benchmarks(8) {
         let mut analyzer = analysis::Analyzer::new();
-        if let Some(why) = b.noise_waiver() {
-            analyzer.registry_mut().override_severity(
-                "noise::budget-exhausted",
-                analysis::Severity::Warning,
-                why,
-            );
-        }
+        analyzer.registry_mut().override_severity(
+            "noise::budget-exhausted",
+            analysis::Severity::Info,
+            f1::workloads::Benchmark::HAND_MANAGED_NOTE,
+        );
         let (opt, _) = b.fhe.optimize();
         let report = analyzer.analyze(&opt);
         let errors: Vec<_> =
             report.diagnostics.iter().filter(|d| d.severity == analysis::Severity::Error).collect();
         assert!(errors.is_empty(), "{}: {errors:?}", b.name);
     }
+}
+
+#[test]
+fn managed_suite_proves_positive_margins_without_waivers() {
+    // The merge gate: every benchmark reflowed by insert_rescales at the
+    // param_search-found (N, L) must carry a positive worst-case margin
+    // and pass the full analyzer with NO severity overrides — the two
+    // bootstrapping budget-exhausted waivers are gone.
+    let spec = analysis::SearchSpec::default();
+    for b in f1::workloads::all_benchmarks(8) {
+        let r = analysis::param_search::search(&b.fhe, &spec)
+            .unwrap_or_else(|| panic!("{}: no (N, L) meets the margin target", b.name));
+        assert!(
+            r.stats.min_margin_wc_after >= spec.target_margin_bits,
+            "{}: managed wc margin {:.1} below target",
+            b.name,
+            r.stats.min_margin_wc_after
+        );
+        let report = analysis::Analyzer::new().analyze(&r.managed);
+        let errors: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.severity == analysis::Severity::Error).collect();
+        assert!(errors.is_empty(), "{} (managed, no waivers): {errors:?}", b.name);
+    }
+}
+
+#[test]
+fn the_suite_compiles_end_to_end_under_an_opt_in_noise_policy() {
+    // `compile_fhe_with(Some(policy))` must take every benchmark through
+    // reflow, optimization, lowering, expansion and cycle scheduling —
+    // the full pipeline — at a heavy width reduction. GSW programs pass
+    // through the reflow unchanged, so the whole suite is eligible.
+    let arch = f1::arch::ArchConfig::f1_default();
+    for b in f1::workloads::all_benchmarks(64) {
+        let (lowered, _, ex, _, cycles) = f1::compiler::compile_fhe_with(
+            &b.fhe,
+            &arch,
+            Some(f1::compiler::NoisePolicy::LazyAtThreshold(8.0)),
+        );
+        assert!(!lowered.program.ops().is_empty(), "{}: empty lowering", b.name);
+        assert!(!ex.dfg.instrs().is_empty(), "{}: empty expansion", b.name);
+        assert!(cycles.makespan > 0, "{}: empty schedule", b.name);
+    }
+}
+
+/// Regression for the silent CKKS rescale saturation: `mod_switch` on a
+/// scale-1 value clamps the scale at the Δ floor, burning a level for no
+/// scale reduction. Strict-scale programs now reject it at build time…
+#[test]
+#[should_panic(expected = "saturates")]
+fn strict_scale_program_rejects_rescale_at_unit_scale() {
+    let mut p = FheProgram::new(1 << 10, Scheme::Ckks).with_strict_scale();
+    let x = p.input(4); // scale 1 already
+    let r = p.mod_switch(x); // must panic: nothing to rescale away
+    p.output(r);
+}
+
+/// …and non-strict programs get a default-set lint pointing at it.
+#[test]
+fn lax_program_lints_saturated_rescale() {
+    let mut p = FheProgram::new(1 << 10, Scheme::Ckks);
+    let x = p.input(4);
+    let r = p.mod_switch(x); // scale-1 rescale: saturates silently
+    p.output(r);
+    let report = analysis::Analyzer::new().analyze(&p);
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == "scale::saturated-rescale"),
+        "scale::saturated-rescale missing from default set: {:?}",
+        report.diagnostics
+    );
 }

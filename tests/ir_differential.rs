@@ -7,7 +7,9 @@
 
 use f1::arch::ArchConfig;
 use f1::compiler::analysis::noise as noise_analysis;
-use f1::compiler::ir::{FheProgram, IrId, Scheme};
+use f1::compiler::analysis::{Analyzer, Severity};
+use f1::compiler::ir::rescale::reflow_at;
+use f1::compiler::ir::{FheProgram, IrId, NoisePolicy, Scheme};
 use f1::fhe::bgv::Plaintext;
 use f1::fhe::noise::NoiseModel;
 use f1::fhe::params::BgvParams;
@@ -156,6 +158,55 @@ proptest! {
             );
         }
         let _ = IrId(0);
+    }
+
+    #[test]
+    fn rescale_insertion_proves_margin_and_preserves_semantics(
+        recipe in proptest::collection::vec((0u8..8, 0u8..16), 1..12)
+    ) {
+        // The automatic noise-management gate, end to end: reflow an
+        // under-provisioned random program (hand switches dropped,
+        // placement re-derived, inputs re-provisioned at a level the
+        // bound can prove), then (1) the managed program must carry a
+        // positive worst-case margin and pass the analyzer with no
+        // Error-severity diagnostics, and (2) it must decrypt
+        // bit-identically to the hand-managed original on real BGV —
+        // mod-switch placement is semantically free in BGV because the
+        // executor divides the accumulated correction factors out at
+        // decryption.
+        let n = 64usize;
+        let fhe = build_fhe(n, 4, &recipe);
+        let (managed, stats) = reflow_at(&fhe, 12, NoisePolicy::LazyAtThreshold(8.0));
+        prop_assert!(
+            stats.min_margin_wc_after > 0.0,
+            "managed program must prove a positive margin: {:?}", stats
+        );
+        let report = Analyzer::new().analyze(&managed);
+        for d in &report.diagnostics {
+            prop_assert!(
+                d.severity != Severity::Error,
+                "managed program fails the lint gate: {:?}", d
+            );
+        }
+
+        let params = BgvParams::test_small(n, 12);
+        let ct_data: Vec<Plaintext> = (0..16)
+            .map(|i| Plaintext::from_coeffs(&params, &[(3 * i + 1) as u64, (i % 5) as u64]))
+            .collect();
+        let pt_data: Vec<Plaintext> = (0..16)
+            .map(|i| Plaintext::from_coeffs(&params, &[(2 * i + 1) as u64]))
+            .collect();
+        let out_hand = run_functional(&fhe, &params, &ct_data, &pt_data).outputs;
+        let out_managed = run_functional(&managed, &params, &ct_data, &pt_data).outputs;
+        prop_assert_eq!(out_hand.len(), out_managed.len());
+        for (i, (h, m)) in out_hand.iter().zip(&out_managed).enumerate() {
+            for j in 0..n {
+                prop_assert_eq!(
+                    h.coeff(j), m.coeff(j),
+                    "output {} coeff {} differs after rescale insertion", i, j
+                );
+            }
+        }
     }
 
     #[test]
