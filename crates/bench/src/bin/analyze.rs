@@ -72,30 +72,47 @@ fn main() {
         "{:<28} {:>6} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9} {:>6}",
         "benchmark", "nodes", "opt", "wc-margin", "est-marg.", "L*", "N*", "wc-mgd", "errs"
     );
-    for (bi, b) in benchmarks.iter().enumerate() {
-        let mut analyzer = Analyzer::new().with_arch(arch.clone());
-        analyzer.registry_mut().override_severity(
-            "noise::budget-exhausted",
-            Severity::Info,
-            Benchmark::HAND_MANAGED_NOTE,
-        );
-        let (opt, _) = b.fhe.optimize();
-        let report = analyzer.analyze(&opt);
+    // The heavy per-benchmark work (optimize, analyze, (N, L) search,
+    // managed-program re-analysis) is independent across benchmarks; run
+    // it under the compile-parallelism knob (`F1_PAR_COMPILE=1` forces
+    // serial). Output stays deterministic: `par_map_threads` preserves
+    // order and the JSON below is assembled serially.
+    let arch_ref = &arch;
+    let spec_ref = &spec;
+    let analyses = rayon::par_map_threads(
+        f1_compiler::par::compile_threads(),
+        &benchmarks,
+        |b: &Benchmark| {
+            let mut analyzer = Analyzer::new().with_arch(arch_ref.clone());
+            analyzer.registry_mut().override_severity(
+                "noise::budget-exhausted",
+                Severity::Info,
+                Benchmark::HAND_MANAGED_NOTE,
+            );
+            let (opt, _) = b.fhe.optimize();
+            let report = analyzer.analyze(&opt);
+            // The merge gate: re-derive switch placement, search the
+            // smallest (N, L) with the target margin, and analyze that
+            // program with NO severity overrides.
+            let found = search(&b.fhe, spec_ref);
+            let managed_errors = match &found {
+                Some(r) => Analyzer::new()
+                    .with_arch(arch_ref.clone())
+                    .analyze(&r.managed)
+                    .count(Severity::Error),
+                None => 1, // unsearchable: gate failure
+            };
+            (opt, report, found, managed_errors)
+        },
+    );
+    for (bi, (b, (opt, report, found, managed_errors))) in
+        benchmarks.iter().zip(&analyses).enumerate()
+    {
+        let managed_errors = *managed_errors;
         let errors = report.count(Severity::Error);
         let warnings = report.count(Severity::Warning);
         let infos = report.count(Severity::Info);
         total_errors += errors;
-
-        // The merge gate: re-derive switch placement, search the
-        // smallest (N, L) with the target margin, and analyze that
-        // program with NO severity overrides.
-        let found = search(&b.fhe, &spec);
-        let managed_errors = match &found {
-            Some(r) => {
-                Analyzer::new().with_arch(arch.clone()).analyze(&r.managed).count(Severity::Error)
-            }
-            None => 1, // unsearchable: gate failure
-        };
         total_errors += managed_errors;
 
         println!(
@@ -182,7 +199,16 @@ fn main() {
         out.push_str(&format!("        \"spills\": {}\n", report.pressure.spills()));
         out.push_str("      },\n");
         out.push_str("      \"waivers\": [");
-        let waivers: Vec<String> = analyzer
+        // The waiver list is static per benchmark (the same override is
+        // installed for every hand-managed program); reconstruct it here
+        // rather than shipping an Analyzer out of the parallel region.
+        let mut waiver_src = Analyzer::new();
+        waiver_src.registry_mut().override_severity(
+            "noise::budget-exhausted",
+            Severity::Info,
+            Benchmark::HAND_MANAGED_NOTE,
+        );
+        let waivers: Vec<String> = waiver_src
             .registry_mut()
             .overrides()
             .iter()

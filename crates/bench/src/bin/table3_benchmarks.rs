@@ -30,7 +30,7 @@ fn main() {
     let t1 = std::time::Instant::now();
     let mut reports: Vec<Option<SimReport>> = (0..benches.len()).map(|_| None).collect();
     let arch_ref = &arch;
-    let serial = rayon::current_num_threads() <= 1
+    let serial = f1_compiler::par::compile_threads() <= 1
         || std::env::var("F1_TABLE3_SERIAL").map(|v| v != "0").unwrap_or(false);
     if serial {
         for (b, slot) in benches.iter().zip(reports.iter_mut()) {

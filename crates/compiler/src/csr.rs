@@ -10,7 +10,12 @@
 //! largest benchmarks ("CSR is intractable for this benchmark").
 
 use f1_isa::dfg::{Dfg, InstrId};
-use std::collections::HashMap;
+
+/// Memoization key for the unit-weight critical depths the CSR tie-break
+/// uses (distinct from pass 3's streaming-weight key space: that key is
+/// an FNV hash of real weights, while unit weights are keyed by this
+/// reserved constant).
+const UNIT_DEPTH_KEY: u64 = u64::MAX;
 
 /// Upper bound on instructions CSR will attempt: the quadratic-ish live
 /// set maintenance makes larger graphs impractical, mirroring the paper's
@@ -24,28 +29,27 @@ pub fn csr_order(dfg: &Dfg) -> Option<Vec<InstrId>> {
     if n > CSR_TRACTABLE_LIMIT {
         return None;
     }
-    // remaining_users[v]: unissued consumers of value v.
-    let mut remaining_users: HashMap<u32, usize> = HashMap::new();
+    // remaining_users[v]: unissued consumers of value v (dense — value
+    // ids index directly, and the counts are read on every score).
+    let mut remaining_users: Vec<u32> = vec![0; dfg.values().len()];
     for instr in dfg.instrs() {
         for &v in &instr.inputs {
-            *remaining_users.entry(v.0).or_insert(0) += 1;
+            remaining_users[v.0 as usize] += 1;
         }
     }
     // Tie-break: critical-path depth (deepest first), as in list
     // schedulers of the CSR era. Deliberately NOT pass 1's priority —
     // that would leak F1's hint-reuse grouping into the baseline the
     // ablation is meant to compare against.
-    let depth = dfg.critical_depths(&|_| 1);
+    let depth = dfg.critical_depths_cached(UNIT_DEPTH_KEY, &|_| 1);
     let mut indegree: Vec<usize> = dfg
         .instrs()
         .iter()
         .map(|i| i.inputs.iter().filter(|v| dfg.producer(**v).is_some()).count())
         .collect();
-    let score = |dfg: &Dfg, remaining: &HashMap<u32, usize>, i: InstrId| -> i64 {
+    let score = |dfg: &Dfg, remaining: &[u32], i: InstrId| -> i64 {
         let instr = dfg.instr(i);
-        let freed =
-            instr.inputs.iter().filter(|v| remaining.get(&v.0).copied().unwrap_or(0) == 1).count()
-                as i64;
+        let freed = instr.inputs.iter().filter(|v| remaining[v.0 as usize] == 1).count() as i64;
         freed - 1 // every instruction creates one value
     };
     // Scores go stale as values die; we re-derive the candidate set each
@@ -76,9 +80,7 @@ pub fn csr_order(dfg: &Dfg) -> Option<Vec<InstrId>> {
         issued[ci] = true;
         order.push(chosen);
         for &v in &dfg.instr(chosen).inputs {
-            if let Some(r) = remaining_users.get_mut(&v.0) {
-                *r -= 1;
-            }
+            remaining_users[v.0 as usize] -= 1;
         }
         for &s in &succs[ci] {
             indegree[s] -= 1;

@@ -177,6 +177,26 @@ enum MemNode {
     Drop { ev: u32 },
 }
 
+/// Fingerprint of the [`stream_weight`] function the cycle scheduler and
+/// expand's makespan estimator rank instructions by — the memoization key
+/// for [`Dfg::critical_depths_cached`]. Two `(arch, n)` pairs that weight
+/// every FU class identically share a key (and may share the cached
+/// depths, which is exactly the point).
+pub fn depth_key(arch: &ArchConfig, n: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(n as u64);
+    for &fu in FuType::ALL.iter() {
+        mix(stream_weight(arch, fu, n));
+    }
+    h
+}
+
 /// Schedules the plan onto the machine.
 pub fn schedule(expanded: &Expanded, plan: &MovePlan, arch: &ArchConfig) -> CycleSchedule {
     CycleScheduler::new(expanded, plan, arch).run()
@@ -189,15 +209,26 @@ struct CycleScheduler<'a> {
     dfg: &'a Dfg,
     plan: &'a MovePlan,
     arch: &'a ArchConfig,
-    n: usize,
     n_instr: usize,
     /// Event nodes (ids `n_instr + k`).
     mem_nodes: Vec<MemNode>,
-    succs: Vec<Vec<(u32, Gate)>>,
+    /// Successor edges in CSR form: node `i`'s successors are
+    /// `succ_dat[succ_off[i]..succ_off[i + 1]]`, in the order pass 2's
+    /// replay discovered them. One flat allocation instead of millions of
+    /// short `Vec`s — the event-graph build dominated `new()` at full
+    /// benchmark scale.
+    succ_off: Vec<u32>,
+    succ_dat: Vec<(u32, Gate)>,
     indeg: Vec<u32>,
     /// Earliest start each node inherits from its gating predecessors.
     gate_time: Vec<u64>,
-    depth: Vec<u64>,
+    depth: std::sync::Arc<Vec<u64>>,
+    /// Per-FU-class `occupancy` / [`stream_weight`] / `latency` at ring
+    /// size `n`, indexed by [`FuType::index`] (identical for every
+    /// instruction of a class — no need to re-derive per commit).
+    fu_occ: [u64; 4],
+    fu_weight: [u64; 4],
+    fu_lat: [u64; 4],
     // Resources. All per-value and per-resource state is held in dense
     // Vec-indexed tables (ValueIds and FU classes are dense): the
     // scheduler touches them hundreds of times per instruction, and
@@ -225,6 +256,8 @@ struct CycleScheduler<'a> {
     rf_member: Vec<u32>,
     /// Reusable operand buffer (avoids cloning instruction input lists).
     input_buf: Vec<ValueId>,
+    /// Reusable `(lower bound, cluster)` scratch for the pruned probe.
+    order_buf: Vec<(u64, usize)>,
     // Ready queues.
     instr_ready: BinaryHeap<(u64, std::cmp::Reverse<u32>)>,
     mem_ready: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
@@ -245,22 +278,25 @@ impl<'a> CycleScheduler<'a> {
 
         // --- Build the event graph by replaying pass 2's script. All
         // bookkeeping tables are dense (indexed by event id / value id).
+        // Edges are collected into one flat list and scattered into CSR
+        // afterwards (stable, so each node's successor order is exactly
+        // the replay's discovery order).
         let n_values = dfg.values().len();
         let n_mem = plan.events.iter().filter(|e| !matches!(e, MoveEvent::Issue { .. })).count();
         let total = n_instr + n_mem;
         let mut mem_nodes = Vec::with_capacity(n_mem);
-        let mut succs: Vec<Vec<(u32, Gate)>> = vec![Vec::new(); total];
+        let mut edges: Vec<(u32, u32, Gate)> = Vec::with_capacity(total * 2);
         let mut indeg = vec![0u32; total];
         let mut ev_node: Vec<u32> = vec![NONE_U32; plan.events.len()];
         let mut cur_alloc: Vec<u32> = vec![NONE_U32; n_values];
         let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_values];
         let mut last_release: Vec<u32> = vec![NONE_U32; n_values];
-        let edge = |succs: &mut Vec<Vec<(u32, Gate)>>,
+        let edge = |edges: &mut Vec<(u32, u32, Gate)>,
                     indeg: &mut Vec<u32>,
                     from: u32,
                     to: u32,
                     g: Gate| {
-            succs[from as usize].push((to, g));
+            edges.push((from, to, g));
             indeg[to as usize] += 1;
         };
         for (ei, ev) in plan.events.iter().enumerate() {
@@ -270,12 +306,12 @@ impl<'a> CycleScheduler<'a> {
                     for &v in &dfg.instr(*instr).inputs {
                         let a = cur_alloc[v.0 as usize];
                         if a != NONE_U32 {
-                            edge(&mut succs, &mut indeg, a, nid, Gate::Order);
+                            edge(&mut edges, &mut indeg, a, nid, Gate::Order);
                         }
                         readers[v.0 as usize].push(nid);
                     }
                     for &d in space_from {
-                        edge(&mut succs, &mut indeg, ev_node[d as usize], nid, Gate::Done);
+                        edge(&mut edges, &mut indeg, ev_node[d as usize], nid, Gate::Done);
                     }
                     let out = dfg.instr(*instr).output.0 as usize;
                     cur_alloc[out] = nid;
@@ -285,13 +321,13 @@ impl<'a> CycleScheduler<'a> {
                     let nid = (n_instr + mem_nodes.len()) as u32;
                     mem_nodes.push(MemNode::Load { ev: ei as u32 });
                     for &d in space_from {
-                        edge(&mut succs, &mut indeg, ev_node[d as usize], nid, Gate::Done);
+                        edge(&mut edges, &mut indeg, ev_node[d as usize], nid, Gate::Done);
                     }
                     // A reload may not start before the previous copy's
                     // release (and, for spills, the writeback) completes.
                     let r = last_release[value.0 as usize];
                     if r != NONE_U32 {
-                        edge(&mut succs, &mut indeg, r, nid, Gate::Done);
+                        edge(&mut edges, &mut indeg, r, nid, Gate::Done);
                     }
                     let vi = value.0 as usize;
                     cur_alloc[vi] = nid;
@@ -310,10 +346,10 @@ impl<'a> CycleScheduler<'a> {
                     let a = cur_alloc[vi];
                     if a != NONE_U32 {
                         let g = if (a as usize) < n_instr { Gate::Drain } else { Gate::Done };
-                        edge(&mut succs, &mut indeg, a, nid, g);
+                        edge(&mut edges, &mut indeg, a, nid, g);
                     }
                     for &r in &readers[vi] {
-                        edge(&mut succs, &mut indeg, r, nid, Gate::ReaderHold);
+                        edge(&mut edges, &mut indeg, r, nid, Gate::ReaderHold);
                     }
                     ev_node[ei] = nid;
                     if ev.frees_space() {
@@ -324,10 +360,39 @@ impl<'a> CycleScheduler<'a> {
                 }
             }
         }
+        // Counts → prefix sums → stable scatter.
+        let mut succ_off = vec![0u32; total + 1];
+        for &(from, _, _) in &edges {
+            succ_off[from as usize + 1] += 1;
+        }
+        for i in 0..total {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut cursor: Vec<u32> = succ_off[..total].to_vec();
+        let mut succ_dat = vec![(0u32, Gate::Order); edges.len()];
+        for &(from, to, g) in &edges {
+            let slot = &mut cursor[from as usize];
+            succ_dat[*slot as usize] = (to, g);
+            *slot += 1;
+        }
+        drop(edges);
 
         // Rank = streaming critical-path depth (matches the availability
-        // semantics the schedule is checked under).
-        let depth = dfg.critical_depths(&|i| stream_weight(arch, i.op.fu_type(), n));
+        // semantics the schedule is checked under). Memoized on the DFG:
+        // expand's makespan estimator uses the same weighting, and pass-3
+        // reruns over one expansion (the Table 5 ablations) hit it too.
+        let depth = dfg.critical_depths_cached(depth_key(arch, n), &|i| {
+            stream_weight(arch, i.op.fu_type(), n)
+        });
+
+        let mut fu_occ = [0u64; 4];
+        let mut fu_weight = [0u64; 4];
+        let mut fu_lat = [0u64; 4];
+        for &fu in FuType::ALL.iter() {
+            fu_occ[fu.index()] = arch.occupancy(fu, n);
+            fu_weight[fu.index()] = stream_weight(arch, fu, n);
+            fu_lat[fu.index()] = arch.latency(fu, n);
+        }
 
         let fu_slots = (0..arch.clusters)
             .map(|_| {
@@ -345,13 +410,16 @@ impl<'a> CycleScheduler<'a> {
             dfg,
             plan,
             arch,
-            n,
             n_instr,
             mem_nodes,
-            succs,
+            succ_off,
+            succ_dat,
             indeg,
             gate_time: vec![0; total],
             depth,
+            fu_occ,
+            fu_weight,
+            fu_lat,
             channels: vec![Occupancy::default(); arch.hbm_channels.max(1)],
             fu_slots,
             net_busy,
@@ -365,6 +433,7 @@ impl<'a> CycleScheduler<'a> {
             rf_queue: vec![VecDeque::new(); arch.clusters],
             rf_member: vec![NONE_U32; n_values],
             input_buf: Vec::new(),
+            order_buf: Vec::new(),
             instr_ready: BinaryHeap::new(),
             mem_ready: BinaryHeap::new(),
             out: StaticSchedule::new(arch.clusters),
@@ -400,8 +469,10 @@ impl<'a> CycleScheduler<'a> {
     /// enqueues the newly ready ones. `hold`/`drain` only matter for
     /// instruction predecessors; mem nodes pass their completion time.
     fn finish(&mut self, nid: u32, hold: u64, drain: u64, done: u64) {
-        let succs = std::mem::take(&mut self.succs[nid as usize]);
-        for &(s, g) in &succs {
+        let lo = self.succ_off[nid as usize] as usize;
+        let hi = self.succ_off[nid as usize + 1] as usize;
+        for k in lo..hi {
+            let (s, g) = self.succ_dat[k];
             let t = match g {
                 Gate::Order => 0,
                 Gate::ReaderHold => hold,
@@ -415,7 +486,6 @@ impl<'a> CycleScheduler<'a> {
                 self.enqueue(s);
             }
         }
-        self.succs[nid as usize] = succs;
     }
 
     fn run(mut self) -> CycleSchedule {
@@ -436,12 +506,26 @@ impl<'a> CycleScheduler<'a> {
             assert!(progressed, "residency event graph deadlock at {committed}/{total}");
         }
 
-        self.out.mem.sort_by_key(|m| m.cycle);
-        for stream in self.out.compute.iter_mut() {
-            stream.sort_by_key(|e| e.cycle);
+        // Final per-stream sorts are independent; each stream sorts on
+        // its own thread when F1_PAR_COMPILE allows. `sort_by_key` is
+        // stable, so the result is identical at any thread count.
+        if crate::par::compile_threads() > 1 {
+            rayon::scope(|s| {
+                s.spawn(|| self.out.mem.sort_by_key(|m| m.cycle));
+                for stream in self.out.compute.iter_mut() {
+                    s.spawn(|| stream.sort_by_key(|e| e.cycle));
+                }
+                s.spawn(|| self.out.net.sort_by_key(|e| e.cycle));
+                s.spawn(|| self.out.evict.sort_by_key(|e| e.cycle));
+            });
+        } else {
+            self.out.mem.sort_by_key(|m| m.cycle);
+            for stream in self.out.compute.iter_mut() {
+                stream.sort_by_key(|e| e.cycle);
+            }
+            self.out.net.sort_by_key(|e| e.cycle);
+            self.out.evict.sort_by_key(|e| e.cycle);
         }
-        self.out.net.sort_by_key(|e| e.cycle);
-        self.out.evict.sort_by_key(|e| e.cycle);
         self.out.makespan = self.makespan;
         self.out.validate_monotone();
 
@@ -613,30 +697,75 @@ impl<'a> CycleScheduler<'a> {
             (instr.op.fu_type(), instr.output)
         };
         let inputs = std::mem::take(&mut self.input_buf);
-        let occ = self.arch.occupancy(fu, self.n);
-        let weight = stream_weight(self.arch, fu, self.n);
-        let lat = self.arch.latency(fu, self.n);
+        let occ = self.fu_occ[fu.index()];
+        let weight = self.fu_weight[fu.index()];
+        let lat = self.fu_lat[fu.index()];
         let base = self.gate_time[id as usize];
 
-        // Pick the cluster with the earliest start; ties prefer operand
-        // affinity (fewest remote bytes), then load balance.
+        // Pick the cluster minimizing (start, remote bytes, stream length,
+        // cluster id) — earliest start; ties prefer operand affinity, then
+        // load balance. Scanning all clusters with full lane/FU probes is
+        // the pass's hot loop, so clusters are visited in ascending
+        // lower-bound order and the scan stops once no unvisited cluster
+        // can beat the incumbent's start. The bound omits only the lane
+        // and FU probes (which can only push a start later), so the
+        // pruned argmin is exactly the full scan's.
+        debug_assert!(inputs.len() <= 2, "vector ops have at most two operands");
+        let mut ready_lb = [0u64; 2]; // reused below; arity is at most 2
         let mut best: Option<(u64, u64, usize, usize)> = None;
-        for c in 0..self.arch.clusters {
-            let mut ready = base;
-            let mut remote = 0u64;
-            for &v in &inputs {
-                let (t, is_remote) = self.arrival(v, c);
-                if is_remote {
-                    remote += self.dfg.value(v).bytes;
+        {
+            // Per-input invariants: availability, and — when the value is
+            // neither cluster-homed nor copied — the earliest possible
+            // remote arrival on *any* cluster.
+            for (k, &v) in inputs.iter().enumerate() {
+                let vi = v.0 as usize;
+                let t0 = self.avail[vi];
+                let from = self.source_of(v);
+                ready_lb[k] = self.source_ready(v, t0, from) + XBAR_HOP_CYCLES;
+            }
+            let mut order = std::mem::take(&mut self.order_buf);
+            order.clear();
+            order.extend((0..self.arch.clusters).map(|c| {
+                let mut lb = base;
+                for (k, &v) in inputs.iter().enumerate() {
+                    let vi = v.0 as usize;
+                    let t = if self.home[vi] == Some(ComponentId::Cluster(c)) {
+                        self.avail[vi]
+                    } else if let Some(&(_, tc)) =
+                        self.copies[vi].iter().find(|&&(cc, _)| cc == c as u32)
+                    {
+                        tc
+                    } else {
+                        ready_lb[k]
+                    };
+                    lb = lb.max(t);
                 }
-                ready = ready.max(t);
+                (lb, c)
+            }));
+            order.sort_unstable();
+            for &(lb, c) in &order {
+                if let Some(b) = best {
+                    if lb > b.0 {
+                        break;
+                    }
+                }
+                let mut ready = base;
+                let mut remote = 0u64;
+                for &v in &inputs {
+                    let (t, is_remote) = self.arrival(v, c);
+                    if is_remote {
+                        remote += self.dfg.value(v).bytes;
+                    }
+                    ready = ready.max(t);
+                }
+                let start =
+                    self.fu_slots[c][fu.index()].iter().map(|s| s.probe(ready, occ)).min().unwrap();
+                let key = (start, remote, self.out.compute[c].len(), c);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
             }
-            let start =
-                self.fu_slots[c][fu.index()].iter().map(|s| s.probe(ready, occ)).min().unwrap();
-            let key = (start, remote, self.out.compute[c].len(), c);
-            if best.map(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)).unwrap_or(true) {
-                best = Some(key);
-            }
+            self.order_buf = order;
         }
         let (_, _, _, cluster) = best.unwrap();
 

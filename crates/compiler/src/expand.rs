@@ -17,7 +17,7 @@ use crate::dsl::{CtId, HomOp, Program};
 use f1_arch::ArchConfig;
 use f1_isa::dfg::{Dfg, ValueId, ValueKind, VectorOp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Identifies a key-switch hint (one pair of matrices, §2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -71,7 +71,7 @@ impl Default for ExpandOptions {
 }
 
 /// The pass-1 output: an instruction DFG plus hint/ciphertext metadata.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Expanded {
     /// The instruction-level dataflow graph.
     pub dfg: Dfg,
@@ -126,8 +126,20 @@ pub fn expand(program: &Program, opts: &ExpandOptions) -> Expanded {
                 return expand_with(program, opts, &order, true);
             }
             let machine = opts.machine.clone().unwrap_or_default();
-            let decomp = expand_with(program, opts, &order, false);
-            let ghs = expand_with(program, opts, &order, true);
+            // The two candidate lowerings are independent pure functions
+            // of (program, order), so they expand in parallel when
+            // F1_PAR_COMPILE allows — identical results either way.
+            let (decomp, ghs) = if crate::par::compile_threads() > 1 {
+                rayon::join(
+                    || expand_with(program, opts, &order, false),
+                    || expand_with(program, opts, &order, true),
+                )
+            } else {
+                (
+                    expand_with(program, opts, &order, false),
+                    expand_with(program, opts, &order, true),
+                )
+            };
             if estimate_makespan(&ghs, &machine) < estimate_makespan(&decomp, &machine) {
                 ghs
             } else {
@@ -160,15 +172,18 @@ fn max_hint_level(program: &Program) -> usize {
 fn estimate_makespan(ex: &Expanded, arch: &ArchConfig) -> u64 {
     let dfg = &ex.dfg;
     let n = dfg.n;
-    // FU-throughput bound per class.
-    let mut busy: HashMap<f1_isa::FuType, u64> = HashMap::new();
+    // FU-throughput bound per class (all instructions of a class share
+    // one occupancy at ring size n, so count then multiply).
+    let mut count = [0u64; 4];
     for i in dfg.instrs() {
-        let fu = i.op.fu_type();
-        *busy.entry(fu).or_insert(0) += arch.occupancy(fu, n);
+        count[i.op.fu_type().index()] += 1;
     }
-    let fu_bound = busy
+    let fu_bound = f1_isa::FuType::ALL
         .iter()
-        .map(|(&fu, &b)| b / (arch.fus_per_cluster(fu) * arch.clusters).max(1) as u64)
+        .map(|&fu| {
+            count[fu.index()] * arch.occupancy(fu, n)
+                / (arch.fus_per_cluster(fu) * arch.clusters).max(1) as u64
+        })
         .max()
         .unwrap_or(0);
     // Bandwidth bound: compulsory traffic (used inputs and hints loaded
@@ -193,11 +208,16 @@ fn estimate_makespan(ex: &Expanded, arch: &ArchConfig) -> u64 {
         traffic += (reread as f64 * overflow) as u64;
     }
     let mem_bound = arch.mem_cycles(traffic);
-    // Dependence bound: the streaming critical path.
+    // Dependence bound: the streaming critical path. Memoized on the DFG
+    // under the same key pass 3 uses, so when this expansion wins the
+    // auto comparison, the cycle scheduler reuses the depths wholesale.
     let cp = dfg
-        .critical_depths(&|i| crate::cycle::stream_weight(arch, i.op.fu_type(), n))
-        .into_iter()
+        .critical_depths_cached(crate::cycle::depth_key(arch, n), &|i| {
+            crate::cycle::stream_weight(arch, i.op.fu_type(), n)
+        })
+        .iter()
         .max()
+        .copied()
         .unwrap_or(0);
     fu_bound.max(mem_bound).max(cp)
 }
@@ -213,8 +233,8 @@ fn expand_with(
         program,
         dfg: Dfg::new(program.n),
         hints: BTreeMap::new(),
-        cts: HashMap::new(),
-        plains: HashMap::new(),
+        cts: vec![None; program.ops().len()],
+        plains: vec![None; program.ops().len()],
         priority: 0,
         used_ghs,
         ghs_specials: opts.ghs_specials,
@@ -224,7 +244,7 @@ fn expand_with(
     }
     let mut output_values = Vec::new();
     for &out in program.outputs() {
-        let ct = ex.cts.get(&out).expect("output must be a ciphertext").clone();
+        let ct = ex.cts[out.0 as usize].as_ref().expect("output must be a ciphertext").clone();
         let mut vals = ct.a.clone();
         vals.extend_from_slice(&ct.b);
         for &v in &vals {
@@ -330,11 +350,23 @@ struct Expander<'p> {
     program: &'p Program,
     dfg: Dfg,
     hints: BTreeMap<HintId, Vec<ValueId>>,
-    cts: HashMap<CtId, LoweredCt>,
-    plains: HashMap<CtId, Vec<ValueId>>,
+    /// Lowered ciphertexts, indexed by [`CtId`] (= op index; `None` until
+    /// the op lowers). Dense tables — the per-op lookups are hot.
+    cts: Vec<Option<LoweredCt>>,
+    plains: Vec<Option<Vec<ValueId>>>,
     priority: u64,
     used_ghs: bool,
     ghs_specials: usize,
+}
+
+impl Expander<'_> {
+    fn ct(&self, id: CtId) -> &LoweredCt {
+        self.cts[id.0 as usize].as_ref().expect("ciphertext not yet lowered")
+    }
+
+    fn plain(&self, id: CtId) -> &[ValueId] {
+        self.plains[id.0 as usize].as_deref().expect("plaintext not yet lowered")
+    }
 }
 
 impl<'p> Expander<'p> {
@@ -359,42 +391,42 @@ impl<'p> Expander<'p> {
                 let b = (0..level)
                     .map(|i| self.dfg.add_value(ValueKind::Input, Some(format!("ct{idx}.b[{i}]"))))
                     .collect();
-                self.cts.insert(id, LoweredCt { a, b });
+                self.cts[id.0 as usize] = Some(LoweredCt { a, b });
             }
             HomOp::PlainInput { level } => {
                 let p = (0..level)
                     .map(|i| self.dfg.add_value(ValueKind::Input, Some(format!("pt{idx}[{i}]"))))
                     .collect();
-                self.plains.insert(id, p);
+                self.plains[id.0 as usize] = Some(p);
             }
             HomOp::Add { a, b } => {
-                let (x, y) = (self.cts[&a].clone(), self.cts[&b].clone());
+                let (x, y) = (self.ct(a).clone(), self.ct(b).clone());
                 let out = LoweredCt {
                     a: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.a[i], y.a[i]])).collect(),
                     b: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.b[i], y.b[i]])).collect(),
                 };
-                self.cts.insert(id, out);
+                self.cts[id.0 as usize] = Some(out);
             }
             HomOp::AddPlain { a, p } => {
-                let x = self.cts[&a].clone();
-                let pt = self.plains[&p].clone();
+                let x = self.ct(a).clone();
+                let pt = self.plain(p).to_vec();
                 let out = LoweredCt {
                     a: x.a.clone(),
                     b: (0..level).map(|i| self.emit(VectorOp::Add, vec![x.b[i], pt[i]])).collect(),
                 };
-                self.cts.insert(id, out);
+                self.cts[id.0 as usize] = Some(out);
             }
             HomOp::MulPlain { a, p } => {
-                let x = self.cts[&a].clone();
-                let pt = self.plains[&p].clone();
+                let x = self.ct(a).clone();
+                let pt = self.plain(p).to_vec();
                 let out = LoweredCt {
                     a: (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.a[i], pt[i]])).collect(),
                     b: (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.b[i], pt[i]])).collect(),
                 };
-                self.cts.insert(id, out);
+                self.cts[id.0 as usize] = Some(out);
             }
             HomOp::Mul { a, b } => {
-                let (x, y) = (self.cts[&a].clone(), self.cts[&b].clone());
+                let (x, y) = (self.ct(a).clone(), self.ct(b).clone());
                 // Tensor (§2.2.1): l2 = a0*a1, l1 = a0*b1 + a1*b0, l0 = b0*b1.
                 let l2: Vec<ValueId> =
                     (0..level).map(|i| self.emit(VectorOp::Mul, vec![x.a[i], y.a[i]])).collect();
@@ -412,10 +444,10 @@ impl<'p> Expander<'p> {
                     a: (0..level).map(|i| self.emit(VectorOp::Add, vec![l1[i], u1[i]])).collect(),
                     b: (0..level).map(|i| self.emit(VectorOp::Add, vec![l0[i], u0[i]])).collect(),
                 };
-                self.cts.insert(id, out);
+                self.cts[id.0 as usize] = Some(out);
             }
             HomOp::Aut { a, k } => {
-                let x = self.cts[&a].clone();
+                let x = self.ct(a).clone();
                 let sa: Vec<ValueId> =
                     (0..level).map(|i| self.emit(VectorOp::Aut { k }, vec![x.a[i]])).collect();
                 let sb: Vec<ValueId> =
@@ -425,10 +457,10 @@ impl<'p> Expander<'p> {
                     a: u1,
                     b: (0..level).map(|i| self.emit(VectorOp::Add, vec![sb[i], u0[i]])).collect(),
                 };
-                self.cts.insert(id, out);
+                self.cts[id.0 as usize] = Some(out);
             }
             HomOp::ModSwitch { a } => {
-                let x = self.cts[&a].clone();
+                let x = self.ct(a).clone();
                 let out_level = level; // already the reduced level
                 let top = out_level; // index of the dropped limb in inputs
                 let lower = |poly: &[ValueId], this: &mut Self| -> Vec<ValueId> {
@@ -445,7 +477,7 @@ impl<'p> Expander<'p> {
                 };
                 let a_new = lower(&x.a, self);
                 let b_new = lower(&x.b, self);
-                self.cts.insert(id, LoweredCt { a: a_new, b: b_new });
+                self.cts[id.0 as usize] = Some(LoweredCt { a: a_new, b: b_new });
             }
         }
     }

@@ -10,9 +10,10 @@
 
 use super::{FheOp, FheProgram, IrId};
 use crate::dsl::{CtId, Program};
+use serde::{Deserialize, Serialize};
 
 /// The result of lowering an [`FheProgram`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lowered {
     /// The scheduler-facing DSL program.
     pub program: Program,

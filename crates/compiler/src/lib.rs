@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod csr;
 pub mod cycle;
 pub mod dsl;
 pub mod expand;
 pub mod ir;
 pub mod movement;
+pub mod par;
 
 pub use analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use cycle::CycleSchedule;

@@ -231,7 +231,14 @@ struct Scheduler<'a> {
     in_list: Vec<bool>,
     output_set: Vec<bool>,
     stored_outputs: Vec<bool>,
-    /// Per-value cursor into its (priority-ordered) user list.
+    /// Per-value user lists sorted by `(rank, instruction id)`. With the
+    /// cursor below, [`Self::next_use_rank`] is amortized O(1): the first
+    /// unissued entry at/after the cursor *is* the minimum-rank unissued
+    /// user. (The DFG's creation-order lists made it a scan of every
+    /// remaining user — O(users²) per value over a run, which dominated
+    /// the pass on high-fanout key-switch hints at full scale.)
+    sorted_users: Vec<Vec<u32>>,
+    /// Per-value cursor into its `sorted_users` list.
     user_cursor: Vec<u32>,
     issued: Vec<bool>,
     /// rank[instr] = issue-order key (priority by default, CSR override).
@@ -277,6 +284,16 @@ impl<'a> Scheduler<'a> {
         for &v in dfg.outputs() {
             output_set[v.0 as usize] = true;
         }
+        // Per-value lineage/liveness tables: each value's users sorted by
+        // final rank. Values are independent, so the build fans out across
+        // F1_PAR_COMPILE threads; output order is by value id either way.
+        let value_ids: Vec<u32> = (0..n_values as u32).collect();
+        let sorted_users: Vec<Vec<u32>> =
+            rayon::par_map_threads(crate::par::compile_threads(), &value_ids, |&vi| {
+                let mut us: Vec<u32> = dfg.users(ValueId(vi)).iter().map(|u| u.0).collect();
+                us.sort_unstable_by_key(|&u| (rank[u as usize], u));
+                us
+            });
         Self {
             dfg,
             arch,
@@ -289,6 +306,7 @@ impl<'a> Scheduler<'a> {
             in_list: vec![false; n_values],
             output_set,
             stored_outputs: vec![false; n_values],
+            sorted_users,
             user_cursor: vec![0; n_values],
             issued: vec![false; n_instr],
             rank,
@@ -581,26 +599,25 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Rank of the next unissued user of `v` (`u64::MAX` if none).
+    /// Rank of the next unissued user of `v` (`u64::MAX` if none). The
+    /// user list is rank-sorted, so the first unissued entry at/after the
+    /// cursor is the minimum.
     fn next_use_rank(&mut self, v: ValueId) -> u64 {
-        let users = self.dfg.users(v);
+        let users = &self.sorted_users[v.0 as usize];
         let cur = &mut self.user_cursor[v.0 as usize];
-        while (*cur as usize) < users.len() && self.issued[users[*cur as usize].0 as usize] {
+        while (*cur as usize) < users.len() && self.issued[users[*cur as usize] as usize] {
             *cur += 1;
         }
-        users
-            .iter()
-            .skip(*cur as usize)
-            .filter(|u| !self.issued[u.0 as usize])
-            .map(|u| self.rank[u.0 as usize])
-            .min()
-            .unwrap_or(u64::MAX)
+        match users.get(*cur as usize) {
+            Some(&u) => self.rank[u as usize],
+            None => u64::MAX,
+        }
     }
 
     fn advance_cursor(&mut self, v: ValueId) {
-        let users = self.dfg.users(v);
+        let users = &self.sorted_users[v.0 as usize];
         let cur = &mut self.user_cursor[v.0 as usize];
-        while (*cur as usize) < users.len() && self.issued[users[*cur as usize].0 as usize] {
+        while (*cur as usize) < users.len() && self.issued[users[*cur as usize] as usize] {
             *cur += 1;
         }
     }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Identifies a value (one `RVec`) in a [`Dfg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -117,18 +118,82 @@ pub struct Instruction {
 }
 
 /// The instruction-level dataflow graph.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// Producer/user relations are dense `Vec`s indexed by [`ValueId`] (ids
+/// are allocated densely by construction): the schedulers touch them
+/// several times per instruction and hashing dominated the passes at
+/// full benchmark scale.
+#[derive(Default)]
 pub struct Dfg {
     /// Ring dimension: every value is an `N`-element residue vector.
     pub n: usize,
     values: Vec<ValueInfo>,
     instrs: Vec<Instruction>,
     /// producer[v] = instruction that writes v (None for graph inputs).
-    producer: HashMap<ValueId, InstrId>,
-    /// users[v] = instructions that read v.
-    users: HashMap<ValueId, Vec<InstrId>>,
+    producer: Vec<Option<InstrId>>,
+    /// users[v] = instructions that read v, in creation order.
+    users: Vec<Vec<InstrId>>,
     /// Values that must be written back to memory.
     outputs: Vec<ValueId>,
+    /// Memoized [`Self::critical_depths`] results keyed by the caller's
+    /// weight-function fingerprint (see [`Self::critical_depths_cached`]).
+    /// Derived data: excluded from `Debug`, `Clone`, serialization.
+    depth_cache: Mutex<Vec<(u64, Arc<Vec<u64>>)>>,
+}
+
+impl Clone for Dfg {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            values: self.values.clone(),
+            instrs: self.instrs.clone(),
+            producer: self.producer.clone(),
+            users: self.users.clone(),
+            outputs: self.outputs.clone(),
+            // The cache is derived data; a clone starts cold.
+            depth_cache: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Dfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Stable rendering for fingerprints: every semantic field, never
+        // the memoization cache (its fill state depends on call history).
+        f.debug_struct("Dfg")
+            .field("n", &self.n)
+            .field("values", &self.values)
+            .field("instrs", &self.instrs)
+            .field("producer", &self.producer)
+            .field("users", &self.users)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl Serialize for Dfg {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.n.serialize(out);
+        self.values.serialize(out);
+        self.instrs.serialize(out);
+        self.producer.serialize(out);
+        self.users.serialize(out);
+        self.outputs.serialize(out);
+    }
+}
+
+impl Deserialize for Dfg {
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::Error> {
+        Ok(Self {
+            n: Deserialize::deserialize(r)?,
+            values: Deserialize::deserialize(r)?,
+            instrs: Deserialize::deserialize(r)?,
+            producer: Deserialize::deserialize(r)?,
+            users: Deserialize::deserialize(r)?,
+            outputs: Deserialize::deserialize(r)?,
+            depth_cache: Mutex::new(Vec::new()),
+        })
+    }
 }
 
 impl Dfg {
@@ -141,6 +206,8 @@ impl Dfg {
     pub fn add_value(&mut self, kind: ValueKind, label: Option<String>) -> ValueId {
         let id = ValueId(self.values.len() as u32);
         self.values.push(ValueInfo { id, kind, bytes: 4 * self.n as u64, label });
+        self.producer.push(None);
+        self.users.push(Vec::new());
         id
     }
 
@@ -158,9 +225,9 @@ impl Dfg {
         let out = self.add_value(ValueKind::Intermediate, None);
         let id = InstrId(self.instrs.len() as u32);
         for &v in &inputs {
-            self.users.entry(v).or_default().push(id);
+            self.users[v.0 as usize].push(id);
         }
-        self.producer.insert(out, id);
+        self.producer[out.0 as usize] = Some(id);
         self.instrs.push(Instruction { id, op, inputs, output: out, priority });
         out
     }
@@ -197,12 +264,12 @@ impl Dfg {
 
     /// The producing instruction of a value, if any (inputs have none).
     pub fn producer(&self, v: ValueId) -> Option<InstrId> {
-        self.producer.get(&v).copied()
+        self.producer[v.0 as usize]
     }
 
     /// The instructions consuming a value.
     pub fn users(&self, v: ValueId) -> &[InstrId] {
-        self.users.get(&v).map(Vec::as_slice).unwrap_or(&[])
+        &self.users[v.0 as usize]
     }
 
     /// Program outputs.
@@ -257,6 +324,28 @@ impl Dfg {
             depth[instr.id.0 as usize] = weight(instr) + below;
         }
         depth
+    }
+
+    /// Memoized [`Self::critical_depths`]: `key` must fingerprint the
+    /// weight function (same key ⇔ same `weight(i)` for every
+    /// instruction — the caller's contract). Scheduling passes call the
+    /// depth computation with a handful of distinct weightings but retry
+    /// with the same ones (expand's makespan estimate and the cycle
+    /// scheduler share one; the CSR pass uses unit weights), so a small
+    /// linear-scan cache behind a `Mutex` removes the repeated O(V + E)
+    /// walks without changing any result.
+    pub fn critical_depths_cached(
+        &self,
+        key: u64,
+        weight: &dyn Fn(&Instruction) -> u64,
+    ) -> Arc<Vec<u64>> {
+        let mut cache = self.depth_cache.lock().expect("depth cache poisoned");
+        if let Some((_, depths)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(depths);
+        }
+        let depths = Arc::new(self.critical_depths(weight));
+        cache.push((key, Arc::clone(&depths)));
+        depths
     }
 
     /// Validates SSA and acyclicity invariants; returns instruction count.
@@ -359,6 +448,31 @@ mod tests {
         };
         let d = g.critical_depths(&w);
         assert_eq!(d, vec![112, 108, 100]);
+    }
+
+    #[test]
+    fn cached_depths_match_and_key_discriminates() {
+        let (mut g, a, b, h) = tiny_graph();
+        let s = g.add_instr(VectorOp::Add, vec![a, b], 0);
+        let p = g.add_instr(VectorOp::Mul, vec![s, h], 1);
+        let t = g.add_instr(VectorOp::Ntt, vec![p], 2);
+        g.mark_output(t);
+        let unit = |_: &Instruction| 1u64;
+        let heavy = |i: &Instruction| if matches!(i.op, VectorOp::Ntt) { 100u64 } else { 1 };
+        let d1 = g.critical_depths_cached(7, &unit);
+        let d2 = g.critical_depths_cached(7, &unit);
+        assert!(Arc::ptr_eq(&d1, &d2), "same key must hit the cache");
+        assert_eq!(*d1, g.critical_depths(&unit));
+        let d3 = g.critical_depths_cached(8, &heavy);
+        assert_eq!(*d3, g.critical_depths(&heavy));
+        assert_ne!(*d1, *d3, "distinct keys keep distinct results");
+        // Clones and serde round-trips start with a cold cache but the
+        // same semantic contents.
+        let clone = g.clone();
+        assert_eq!(format!("{:?}", clone), format!("{:?}", g));
+        let bytes = serde::to_bytes(&g);
+        let back: Dfg = serde::from_bytes(&bytes).expect("dfg round-trips");
+        assert_eq!(format!("{:?}", back), format!("{:?}", g));
     }
 
     #[test]

@@ -132,7 +132,7 @@ fn residency_intervals(
     intervals
 }
 
-/// Validates a schedule and derives its statistics.
+/// Validates a schedule's emitted streams without computing statistics.
 ///
 /// Independently re-verifies the overlapped schedule the list scheduler
 /// emits: per-(cluster, FU, instance) occupancy, per-HBM-channel
@@ -152,16 +152,16 @@ fn residency_intervals(
 ///   release; a spilled intermediate's refetch additionally requires its
 ///   writeback to have completed.
 ///
+/// This is the right entry for re-verifying a schedule that did *not*
+/// come out of an in-process compile — e.g. one deserialized from the
+/// schedule cache — since it needs no [`MovePlan`]. Returns the verified
+/// makespan.
+///
 /// # Panics
 ///
 /// Panics (like the paper's checker) on any missed dependence, resource
 /// double-booking, capacity overflow, or accounting mismatch.
-pub fn check_schedule(
-    expanded: &Expanded,
-    plan: &MovePlan,
-    cs: &CycleSchedule,
-    arch: &ArchConfig,
-) -> SimReport {
+pub fn check_streams(expanded: &Expanded, cs: &CycleSchedule, arch: &ArchConfig) -> u64 {
     let dfg = &expanded.dfg;
     let n = dfg.n;
 
@@ -401,8 +401,26 @@ pub fn check_schedule(
         assert_eq!(cs.counters.hbm_bytes, hbm_bytes, "HBM byte counter mismatch");
     }
 
+    cs.makespan.max(1)
+}
+
+/// Validates a schedule ([`check_streams`]) and derives its statistics.
+///
+/// # Panics
+///
+/// Panics (like the paper's checker) on any missed dependence, resource
+/// double-booking, capacity overflow, or accounting mismatch.
+pub fn check_schedule(
+    expanded: &Expanded,
+    plan: &MovePlan,
+    cs: &CycleSchedule,
+    arch: &ArchConfig,
+) -> SimReport {
+    let makespan = check_streams(expanded, cs, arch);
+    let dfg = &expanded.dfg;
+    let n = dfg.n;
+
     // --- Statistics.
-    let makespan = cs.makespan.max(1);
     let window = (makespan / 160).max(1);
     let buckets = makespan.div_ceil(window) as usize;
     let mut timeline = Timeline {

@@ -48,6 +48,55 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
+/// Scoped parallel map with **deterministic output order**: `out[i]` is
+/// always `f(&items[i])` regardless of thread count or timing, so a
+/// parallel caller produces byte-identical results to a serial one.
+///
+/// Stands in for rayon's `par_iter().map().collect()`. The shim has no
+/// work-stealing pool, so the slice is cut into at most `threads`
+/// contiguous chunks, one OS thread each — appropriate for coarse tasks
+/// (a compute cluster, a benchmark), not per-element work. `threads <= 1`
+/// (or a 0/1-element slice) runs entirely on the caller's thread with no
+/// spawns, which is the `F1_PAR_COMPILE=1` escape hatch.
+///
+/// # Panics
+///
+/// Propagates any panic from `f` once all spawned threads finish.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let f = &f;
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("rayon shim: par_map slot unfilled")).collect()
+}
+
+/// [`par_map_threads`] across [`current_num_threads`] threads.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(current_num_threads(), items, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +122,25 @@ mod tests {
     #[test]
     fn num_threads_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_threads(threads, &items, |x| x * x), expect, "{threads} threads");
+        }
+        assert_eq!(par_map(&items, |x| x * x), expect);
+        assert_eq!(par_map_threads(4, &[] as &[u64], |x| *x), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn par_map_propagates_panics() {
+        par_map_threads(4, &[1u32, 2, 3, 4, 5, 6, 7, 8], |x| {
+            assert!(*x != 6, "boom");
+            *x
+        });
     }
 }

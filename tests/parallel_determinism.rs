@@ -1,0 +1,65 @@
+//! Parallel-vs-serial determinism: the `F1_PAR_COMPILE`-gated parallel
+//! regions in the three scheduling passes must be invisible in the
+//! output — over the whole benchmark suite, the serial and parallel
+//! compiles must agree on every makespan (delta exactly 0) and on the
+//! FNV fingerprint of the emitted `StaticSchedule` streams.
+
+use f1::arch::ArchConfig;
+use f1::compiler::par::with_compile_threads;
+use f1::compiler::CycleSchedule;
+
+/// FNV-1a over the schedule's stream debug rendering — the repo's
+/// fingerprint idiom.
+fn fnv_fingerprint(cs: &CycleSchedule) -> u64 {
+    let s = format!("{:?}", cs.schedule);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn whole_suite_is_identical_serial_vs_parallel() {
+    // Scale 16 keeps the suite fast while exercising every pass's
+    // parallel region (the thread override forces the parallel code
+    // paths even on a single-core host).
+    let arch = ArchConfig::f1_default();
+    for b in f1::workloads::all_benchmarks(16) {
+        let (ex_s, plan_s, cs_s) =
+            with_compile_threads(1, || f1::compiler_compile(&b.program, &arch));
+        let (ex_p, plan_p, cs_p) =
+            with_compile_threads(4, || f1::compiler_compile(&b.program, &arch));
+        assert_eq!(ex_s.hom_order, ex_p.hom_order, "{}: hom-op order differs", b.name);
+        assert_eq!(
+            format!("{:?}", plan_s.events),
+            format!("{:?}", plan_p.events),
+            "{}: residency event scripts differ",
+            b.name
+        );
+        assert_eq!(cs_s.makespan, cs_p.makespan, "{}: makespan delta must be exactly 0", b.name);
+        assert_eq!(
+            fnv_fingerprint(&cs_s),
+            fnv_fingerprint(&cs_p),
+            "{}: StaticSchedule stream fingerprints differ",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn thread_override_nests_and_restores() {
+    // `with_compile_threads` is the test harness for the invariant
+    // above; make sure the guard restores the outer value even when
+    // nested, so suite-level tests cannot leak overrides into each
+    // other.
+    use f1::compiler::par::compile_threads;
+    let outer = compile_threads();
+    with_compile_threads(3, || {
+        assert_eq!(compile_threads(), 3);
+        with_compile_threads(1, || assert_eq!(compile_threads(), 1));
+        assert_eq!(compile_threads(), 3);
+    });
+    assert_eq!(compile_threads(), outer);
+}
