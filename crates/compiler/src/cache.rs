@@ -42,7 +42,9 @@ use std::path::{Path, PathBuf};
 
 /// Artifact format version; bump on any layout or semantic change so
 /// stale entries from older builds miss instead of mis-decoding.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: `FheProgram` gained rolled-loop regions (`repeats`), changing
+/// both the typed-IR key bytes and the `Lowered` payload layout.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Artifact file magic.
 const MAGIC: [u8; 4] = *b"F1SC";
@@ -91,11 +93,30 @@ impl From<std::io::Error> for CacheError {
     }
 }
 
-/// FNV-1a over a byte slice — the repo's standard fingerprint.
+/// FNV-1a over a byte slice — the repo's standard fingerprint. Used for
+/// the key hash (keys are small).
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a folded over 8-byte words — the *payload* checksum (format
+/// v2). Payloads run to tens of MB, where byte-at-a-time FNV costs a
+/// visible slice of the cache-hit budget; folding words does one
+/// multiply per 8 bytes and still flips on any single-bit corruption.
+fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
@@ -126,7 +147,7 @@ fn store(path: &Path, key: &[u8], payload: &[u8]) -> Result<(), CacheError> {
         f.write_all(&MAGIC)?;
         f.write_all(&FORMAT_VERSION.to_le_bytes())?;
         f.write_all(&fnv64(key).to_le_bytes())?;
-        f.write_all(&fnv64(payload).to_le_bytes())?;
+        f.write_all(&checksum64(payload).to_le_bytes())?;
         f.write_all(&(key.len() as u64).to_le_bytes())?;
         f.write_all(&(payload.len() as u64).to_le_bytes())?;
         f.write_all(key)?;
@@ -169,7 +190,7 @@ fn load(path: &Path, key: &[u8]) -> Result<Vec<u8>, CacheError> {
     if f.read(&mut rest)? != 0 {
         return Err(CacheError::Format("trailing bytes"));
     }
-    if fnv64(&payload) != payload_hash {
+    if checksum64(&payload) != payload_hash {
         return Err(CacheError::Format("payload checksum mismatch"));
     }
     Ok(payload)
@@ -208,10 +229,23 @@ pub fn store_dsl(
     store(&entry_path("dsl", fnv64(&key)), &key, &payload)
 }
 
+/// Artifact path a [`compile_fhe_cached`] call for these inputs uses.
+/// The key serializes the program *as written* — a rolled program and
+/// its unrolling are semantically equivalent but occupy distinct
+/// entries (`repeats` is part of `FheProgram`'s serialization), so the
+/// sublinear rolled path and the flat path never collide in the cache.
+pub fn fhe_entry_path(
+    program: &FheProgram,
+    arch: &ArchConfig,
+    policy: &Option<NoisePolicy>,
+) -> PathBuf {
+    let key = serde::to_bytes(&(program, arch, policy));
+    entry_path("fhe", fnv64(&key))
+}
+
 /// [`evict_dsl`] for the typed-IR path of [`compile_fhe_cached`].
 pub fn evict_fhe(program: &FheProgram, arch: &ArchConfig, policy: &Option<NoisePolicy>) -> bool {
-    let key = serde::to_bytes(&(program, arch, policy));
-    std::fs::remove_file(entry_path("fhe", fnv64(&key))).is_ok()
+    std::fs::remove_file(fhe_entry_path(program, arch, policy)).is_ok()
 }
 
 /// [`crate::compile`] with caching: on a hit the three pass artifacts
@@ -301,6 +335,34 @@ mod tests {
             // Missing file → Io.
             assert!(matches!(load(&dir.join("absent.f1c"), &key), Err(CacheError::Io(_))));
         });
+    }
+
+    #[test]
+    fn rolled_and_unrolled_programs_use_distinct_entries() {
+        // A rolled program and its unrolling produce byte-identical
+        // schedules but must never share a cache entry: the key hashes
+        // the program as written (the `repeats` field serializes), so
+        // the sublinear path's artifacts cannot shadow the flat path's.
+        use crate::ir::Scheme;
+        let arch = ArchConfig::f1_default();
+        let mut p = FheProgram::new(1 << 10, Scheme::Bgv);
+        let acc = p.input(6);
+        let t = p.begin_repeat();
+        let m = p.square(acc);
+        let acc2 = p.add(m, m);
+        p.end_repeat(t, 4, vec![(acc, acc2)], vec![]);
+        p.output(acc2);
+        let flat = p.unroll();
+        assert_ne!(
+            fhe_entry_path(&p, &arch, &None),
+            fhe_entry_path(&flat, &arch, &None),
+            "rolled and unrolled forms must hash to distinct cache entries"
+        );
+        // Trip count is part of the key too: re-trip and the entry moves.
+        assert_ne!(
+            fhe_entry_path(&p, &arch, &None),
+            fhe_entry_path(&p.with_trips(0, 5), &arch, &None),
+        );
     }
 
     #[test]

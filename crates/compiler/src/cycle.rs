@@ -712,7 +712,7 @@ impl<'a> CycleScheduler<'a> {
         // pruned argmin is exactly the full scan's.
         debug_assert!(inputs.len() <= 2, "vector ops have at most two operands");
         let mut ready_lb = [0u64; 2]; // reused below; arity is at most 2
-        let mut best: Option<(u64, u64, usize, usize)> = None;
+        let mut best: Option<(u64, u64, usize)> = None;
         {
             // Per-input invariants: availability, and — when the value is
             // neither cluster-homed nor copied — the earliest possible
@@ -760,14 +760,14 @@ impl<'a> CycleScheduler<'a> {
                 }
                 let start =
                     self.fu_slots[c][fu.index()].iter().map(|s| s.probe(ready, occ)).min().unwrap();
-                let key = (start, remote, self.out.compute[c].len(), c);
+                let key = (start, remote, c);
                 if best.map(|b| key < b).unwrap_or(true) {
                     best = Some(key);
                 }
             }
             self.order_buf = order;
         }
-        let (_, _, _, cluster) = best.unwrap();
+        let (_, _, cluster) = best.unwrap();
 
         // Commit operand transfers on the chosen cluster.
         let mut ready = base;

@@ -49,12 +49,18 @@ pub mod expand;
 pub mod ir;
 pub mod movement;
 pub mod par;
+pub mod stamp;
 
 pub use analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use cycle::CycleSchedule;
 pub use dsl::{CtId, HomOp, Program};
 pub use expand::{ExpandOptions, Expanded, KeySwitchChoice};
-pub use ir::{FheProgram, IrId, Lowered, NoisePolicy, OptStats, RescaleStats, Scheme};
+pub use ir::{
+    FheProgram, IrId, Lowered, NodeStep, NoisePolicy, OptStats, RepeatSpec, RescaleStats, Scheme,
+};
+pub use stamp::{
+    compile_rolled, Relocation, RolledCompile, RolledOutcome, StampInfo, StampedSchedule,
+};
 pub use movement::MovePlan;
 
 /// Compiles a DSL program end-to-end with default options, returning the
@@ -107,6 +113,16 @@ pub fn compile_fhe_with(
     arch: &f1_arch::ArchConfig,
     policy: Option<NoisePolicy>,
 ) -> (Lowered, OptStats, Expanded, MovePlan, CycleSchedule) {
+    // Rolled loop regions unroll here: every pass below this point sees
+    // flat IR. (`stamp::compile_rolled` is the sublinear alternative that
+    // keeps the region symbolic.)
+    let unrolled;
+    let program = if program.repeats().is_empty() {
+        program
+    } else {
+        unrolled = program.unroll();
+        &unrolled
+    };
     let managed;
     let program = match policy {
         Some(policy) => {

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 /// Identifies a value (one `RVec`) in a [`Dfg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -137,9 +137,16 @@ pub struct Dfg {
     outputs: Vec<ValueId>,
     /// Memoized [`Self::critical_depths`] results keyed by the caller's
     /// weight-function fingerprint (see [`Self::critical_depths_cached`]).
+    /// Fixed write-once slots: reads are lock-free, so concurrent
+    /// schedulers (the parallel suite driver) never contend on a lock.
     /// Derived data: excluded from `Debug`, `Clone`, serialization.
-    depth_cache: Mutex<Vec<(u64, Arc<Vec<u64>>)>>,
+    depth_cache: [OnceLock<(u64, Arc<Vec<u64>>)>; DEPTH_CACHE_SLOTS],
 }
+
+/// Distinct depth weightings the passes use (expand's makespan estimate
+/// and the cycle scheduler share one, CSR uses unit weights; headroom
+/// for two more). Overflow falls back to an uncached recompute.
+const DEPTH_CACHE_SLOTS: usize = 4;
 
 impl Clone for Dfg {
     fn clone(&self) -> Self {
@@ -151,7 +158,7 @@ impl Clone for Dfg {
             users: self.users.clone(),
             outputs: self.outputs.clone(),
             // The cache is derived data; a clone starts cold.
-            depth_cache: Mutex::new(Vec::new()),
+            depth_cache: Default::default(),
         }
     }
 }
@@ -191,7 +198,7 @@ impl Deserialize for Dfg {
             producer: Deserialize::deserialize(r)?,
             users: Deserialize::deserialize(r)?,
             outputs: Deserialize::deserialize(r)?,
-            depth_cache: Mutex::new(Vec::new()),
+            depth_cache: Default::default(),
         })
     }
 }
@@ -331,20 +338,39 @@ impl Dfg {
     /// instruction — the caller's contract). Scheduling passes call the
     /// depth computation with a handful of distinct weightings but retry
     /// with the same ones (expand's makespan estimate and the cycle
-    /// scheduler share one; the CSR pass uses unit weights), so a small
-    /// linear-scan cache behind a `Mutex` removes the repeated O(V + E)
-    /// walks without changing any result.
+    /// scheduler share one; the CSR pass uses unit weights), so a few
+    /// write-once slots remove the repeated O(V + E) walks without
+    /// changing any result. Hits are lock-free scans; on a slot race the
+    /// loser either adopts the winner's same-key result or moves to the
+    /// next slot, and a full cache degrades to recomputing — never to
+    /// blocking.
     pub fn critical_depths_cached(
         &self,
         key: u64,
         weight: &dyn Fn(&Instruction) -> u64,
     ) -> Arc<Vec<u64>> {
-        let mut cache = self.depth_cache.lock().expect("depth cache poisoned");
-        if let Some((_, depths)) = cache.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(depths);
+        for slot in &self.depth_cache {
+            if let Some((k, depths)) = slot.get() {
+                if *k == key {
+                    return Arc::clone(depths);
+                }
+            }
         }
         let depths = Arc::new(self.critical_depths(weight));
-        cache.push((key, Arc::clone(&depths)));
+        for slot in &self.depth_cache {
+            match slot.set((key, Arc::clone(&depths))) {
+                Ok(()) => return depths,
+                // Lost the race for this slot: if the winner cached our
+                // key, its copy is the canonical one.
+                Err(_) => {
+                    if let Some((k, d)) = slot.get() {
+                        if *k == key {
+                            return Arc::clone(d);
+                        }
+                    }
+                }
+            }
+        }
         depths
     }
 
@@ -473,6 +499,24 @@ mod tests {
         let bytes = serde::to_bytes(&g);
         let back: Dfg = serde::from_bytes(&bytes).expect("dfg round-trips");
         assert_eq!(format!("{:?}", back), format!("{:?}", g));
+    }
+
+    #[test]
+    fn depth_cache_overflow_degrades_to_recompute() {
+        let (mut g, a, b, _) = tiny_graph();
+        let s = g.add_instr(VectorOp::Add, vec![a, b], 0);
+        g.mark_output(s);
+        // Fill every write-once slot with distinct keys, then keep going:
+        // results must stay correct (uncached) and earlier keys must
+        // still hit their slots.
+        let first = g.critical_depths_cached(0, &|_| 1u64);
+        for key in 1..2 * DEPTH_CACHE_SLOTS as u64 {
+            let w = move |_: &Instruction| key + 1;
+            let d = g.critical_depths_cached(key, &w);
+            assert_eq!(*d, g.critical_depths(&w), "key {key} result wrong");
+        }
+        let again = g.critical_depths_cached(0, &|_| 1u64);
+        assert!(Arc::ptr_eq(&first, &again), "slot 0 must survive overflow");
     }
 
     #[test]

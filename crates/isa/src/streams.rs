@@ -53,7 +53,7 @@ pub enum ComponentId {
 }
 
 /// One entry in a compute cluster's stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ComputeEntry {
     /// Absolute issue cycle (compute clock, 1 GHz domain).
     pub cycle: u64,
@@ -75,7 +75,7 @@ pub enum MemDir {
 }
 
 /// One entry in a memory controller / scratchpad-bank stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemEntry {
     /// Cycle the transfer is issued.
     pub cycle: u64,
@@ -96,7 +96,7 @@ pub struct MemEntry {
 
 /// One on-chip network transfer (bank→cluster, cluster→bank, or
 /// cluster→cluster over the three crossbars, §6).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetEntry {
     /// Cycle the transfer starts.
     pub cycle: u64,
@@ -132,7 +132,7 @@ pub struct EvictEntry {
 }
 
 /// A complete static schedule: every component's stream plus the horizon.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StaticSchedule {
     /// Compute entries, grouped by cluster index.
     pub compute: Vec<Vec<ComputeEntry>>,

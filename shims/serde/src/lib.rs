@@ -138,6 +138,15 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 
 /// Reads a LEB128 varint.
 pub fn read_varint(r: &mut Reader<'_>) -> Result<u64, Error> {
+    // Single-byte fast path: values below 128 dominate real artifacts
+    // (stream deltas, small ids, lengths), and skipping the loop setup
+    // and bounds re-checks is a measurable win on multi-MB cache loads.
+    if let Some(&b) = r.buf.get(r.pos) {
+        if b < 0x80 {
+            r.pos += 1;
+            return Ok(u64::from(b));
+        }
+    }
     let mut v = 0u64;
     for shift in (0..64).step_by(7) {
         let byte = r.take_u8()?;
